@@ -1,0 +1,49 @@
+// Figure 12: effect of the multipath rejection algorithm. The paper swaps
+// BLoc's peak scoring (likelihood x entropy x distance, Eq. 18) for a naive
+// "pick the shortest-distance peak" rule: median degrades 86 -> 195 cm and
+// p90 178 -> 331 cm (~2x). The pure max-likelihood pick (no rejection at
+// all) is printed as a third series.
+//
+//   ./bench_fig12_multipath [--locations=250] [--seed=1] [--csv=fig12.csv]
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace bloc;
+  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  std::cout << "=== Figure 12: multipath rejection ablation ("
+            << setup.options.locations << " locations) ===\n";
+
+  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+
+  struct Case {
+    std::string label;
+    core::SelectionMode mode;
+  };
+  const std::vector<Case> cases = {
+      {"BLoc (Eq. 18 scoring)", core::SelectionMode::kBlocScore},
+      {"Shortest-distance baseline", core::SelectionMode::kShortestDistance},
+      {"Max-likelihood (no rejection)", core::SelectionMode::kMaxLikelihood},
+  };
+
+  std::vector<eval::NamedCdf> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const Case& c : cases) {
+    core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+    config.scoring.mode = c.mode;
+    const std::vector<double> errors = sim::EvaluateBloc(dataset, config);
+    series.push_back({c.label, dsp::MakeCdf(errors)});
+    const auto stats = eval::ComputeStats(errors);
+    rows.push_back(
+        {c.label, bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});
+  }
+
+  eval::PrintCdfPlot(std::cout, series);
+  std::cout << "\n";
+  eval::PrintTable(std::cout, {"scheme", "median", "p90"}, rows);
+  std::cout << "\n  paper: BLoc 86 cm (p90 178 cm) vs shortest-distance "
+               "195 cm (p90 331 cm) — a ~2x gap\n";
+  eval::WriteCsv(setup.csv_path, {"scheme", "median_cm", "p90_cm"}, rows);
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Figure 8 microbenchmarks:
+//  (a) CSI stability: corrected CSI phase on subbands {6,16,26,36} across 9
+//      consecutive measurement rounds stays constant, while the raw
+//      (uncorrected) phase is garbled by per-retune LO offsets.
+//  (b) Combining across anchors: in a line-of-sight deployment, the
+//      corrected channel phase is *linear* across the 37 subbands; without
+//      BLoc's offset cancellation it varies randomly.
+//  (c) Multipath profile: in the multipath-rich room, the direct-path peak
+//      of the fused likelihood map is spatially sharp while reflection
+//      peaks are spread out (higher spatial entropy).
+//
+//   ./bench_fig8_microbench [--seed=1]
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "bloc/corrected_channel.h"
+#include "bloc/localizer.h"
+#include "dsp/complex_ops.h"
+#include "dsp/peaks.h"
+
+namespace {
+
+using namespace bloc;
+
+double PhaseDeg(dsp::cplx v) { return std::arg(v) * 180.0 / dsp::kPi; }
+
+std::size_t BandIndexOf(const core::CorrectedChannels& corrected,
+                        std::uint8_t channel) {
+  for (std::size_t k = 0; k < corrected.band_channels.size(); ++k) {
+    if (corrected.band_channels[k] == channel) return k;
+  }
+  throw std::runtime_error("subband not present");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::CliArgs args(argc, argv);
+  const std::uint64_t seed = args.U64("seed", 1);
+
+  // ---------------------------------------------------------------- (a)
+  std::cout << "=== Figure 8(a): CSI phase stability across rounds ===\n";
+  {
+    sim::ScenarioConfig scenario = sim::LosClean(seed);
+    sim::Testbed testbed(scenario);
+    sim::MeasurementSimulator simulator(testbed);
+    const geom::Vec2 tag{2.2, 1.9};
+    const std::vector<std::uint8_t> subbands = {6, 16, 26, 36};
+    constexpr std::size_t kRounds = 9;
+
+    std::vector<std::vector<double>> corrected_phase(subbands.size());
+    std::vector<std::vector<double>> raw_phase(subbands.size());
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const net::MeasurementRound round = simulator.RunRound(tag, r);
+      const core::CorrectedChannels corrected =
+          core::ComputeCorrectedChannels(round);
+      // Slave anchor (id 2), antenna 0.
+      const core::AnchorCorrected* slave = nullptr;
+      for (const auto& ac : corrected.anchors) {
+        if (!ac.is_master) {
+          slave = &ac;
+          break;
+        }
+      }
+      const anchor::CsiReport* slave_report = nullptr;
+      for (const auto& rep : round.reports) {
+        if (!rep.is_master) {
+          slave_report = &rep;
+          break;
+        }
+      }
+      for (std::size_t s = 0; s < subbands.size(); ++s) {
+        const std::size_t k = BandIndexOf(corrected, subbands[s]);
+        corrected_phase[s].push_back(PhaseDeg(slave->alpha[0][k]));
+        raw_phase[s].push_back(
+            PhaseDeg(slave_report->FindBand(subbands[s])->tag_csi[0]));
+      }
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t s = 0; s < subbands.size(); ++s) {
+      // Circular std via the resultant length of the unit rotors.
+      auto circ_std = [](const std::vector<double>& deg) {
+        dsp::cplx acc{0, 0};
+        for (double d : deg) acc += dsp::Rotor(d * dsp::kPi / 180.0);
+        const double r =
+            std::abs(acc) / static_cast<double>(deg.size());
+        return std::sqrt(std::max(0.0, -2.0 * std::log(std::max(r, 1e-12)))) *
+               180.0 / dsp::kPi;
+      };
+      rows.push_back({"subband " + std::to_string(subbands[s]),
+                      eval::Fmt(circ_std(corrected_phase[s]), 2) + " deg",
+                      eval::Fmt(circ_std(raw_phase[s]), 2) + " deg"});
+    }
+    eval::PrintTable(std::cout,
+                     {"band", "corrected phase std (9 rounds)",
+                      "raw phase std (9 rounds)"},
+                     rows);
+    std::cout << "  expected: corrected std of a few degrees; raw std ~60+ "
+                 "deg (uniformly random)\n\n";
+  }
+
+  // ---------------------------------------------------------------- (b)
+  std::cout << "=== Figure 8(b): phase vs subband, with/without correction "
+               "===\n";
+  {
+    sim::ScenarioConfig scenario = sim::LosClean(seed);
+    sim::Testbed testbed(scenario);
+    sim::MeasurementSimulator simulator(testbed);
+    const net::MeasurementRound round = simulator.RunRound({2.8, 2.3}, 0);
+    const core::CorrectedChannels corrected =
+        core::ComputeCorrectedChannels(round);
+    const core::AnchorCorrected* slave = nullptr;
+    for (const auto& ac : corrected.anchors) {
+      if (!ac.is_master) {
+        slave = &ac;
+        break;
+      }
+    }
+    const anchor::CsiReport* slave_report = nullptr;
+    for (const auto& rep : round.reports) {
+      if (!rep.is_master) {
+        slave_report = &rep;
+        break;
+      }
+    }
+
+    dsp::RVec xs, corrected_phases, raw_phases;
+    for (std::size_t k = 0; k < corrected.num_bands(); ++k) {
+      xs.push_back(static_cast<double>(k));
+      corrected_phases.push_back(std::arg(slave->alpha[0][k]));
+      raw_phases.push_back(std::arg(
+          slave_report->FindBand(corrected.band_channels[k])->tag_csi[0]));
+    }
+    dsp::UnwrapInPlace(corrected_phases);
+    dsp::UnwrapInPlace(raw_phases);
+    const auto fit_corr = dsp::FitLine(xs, corrected_phases);
+    const auto fit_raw = dsp::FitLine(xs, raw_phases);
+    eval::PrintTable(
+        std::cout, {"series", "linear-fit RMS residual (deg)"},
+        {{"BLoc (corrected)",
+          eval::Fmt(fit_corr.rms_residual * 180.0 / dsp::kPi, 2)},
+         {"without phase correction",
+          eval::Fmt(fit_raw.rms_residual * 180.0 / dsp::kPi, 2)}});
+    std::cout << "  expected: corrected phase is linear across subbands "
+                 "(small residual); uncorrected is random (huge residual)\n\n";
+  }
+
+  // ---------------------------------------------------------------- (c)
+  std::cout << "=== Figure 8(c): multipath profile — direct peak sharp, "
+               "reflections spread ===\n";
+  {
+    sim::ScenarioConfig scenario = sim::PaperTestbed(seed);
+    sim::Testbed testbed(scenario);
+    sim::MeasurementSimulator simulator(testbed);
+    const geom::Vec2 tag{4.2, 3.4};
+    const net::MeasurementRound round = simulator.RunRound(tag, 0);
+
+    core::LocalizerConfig config;
+    config.grid = sim::RoomGrid(scenario);
+    config.keep_map = true;
+    const core::Localizer localizer(testbed.deployment(), config);
+    const core::LocationResult result = localizer.Locate(round);
+
+    std::cout << "\n  fused likelihood map (tag at " << eval::Fmt(tag.x, 1)
+              << ", " << eval::Fmt(tag.y, 1) << "):\n\n";
+    eval::PrintHeatmap(std::cout, *result.fused_map);
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < result.peaks.size() && i < 6; ++i) {
+      const core::ScoredPeak& p = result.peaks[i];
+      const double dist = geom::Distance({p.peak.x, p.peak.y}, tag);
+      rows.push_back({std::to_string(i), eval::Fmt(p.peak.x, 2) + ", " +
+                                             eval::Fmt(p.peak.y, 2),
+                      eval::Fmt(p.peak.value, 3), eval::Fmt(p.entropy, 3),
+                      eval::Fmt(p.score, 4), eval::Fmt(dist, 2) + " m"});
+    }
+    eval::PrintTable(std::cout,
+                     {"peak", "position", "likelihood", "entropy", "score",
+                      "dist to truth"},
+                     rows);
+    std::cout << "  selected: " << eval::Fmt(result.position.x, 2) << ", "
+              << eval::Fmt(result.position.y, 2) << " (error "
+              << bench::FmtCm(geom::Distance(result.position, tag)) << ")\n";
+  }
+  return 0;
+}

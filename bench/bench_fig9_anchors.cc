@@ -1,0 +1,106 @@
+// Figure 9(b): effect of the number of anchor points, for BLoc and the AoA
+// baseline. Paper: BLoc 86 -> 91.5 cm (4 -> 3 anchors), baseline 242 -> 247
+// cm; with 2 anchors both degrade sharply. For k < 4 anchors, every subset
+// containing the master is evaluated and errors are averaged per location
+// (the paper averages over all subsets).
+//
+//   ./bench_fig9_anchors [--locations=250] [--seed=1] [--csv=fig9b.csv]
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace bloc;
+
+/// All k-subsets of `ids` that contain `required` (0 = no requirement).
+std::vector<std::vector<std::uint32_t>> SubsetsWith(
+    const std::vector<std::uint32_t>& ids, std::size_t k,
+    std::uint32_t required) {
+  std::vector<std::vector<std::uint32_t>> out;
+  const std::size_t n = ids.size();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+    std::vector<std::uint32_t> subset;
+    bool has_required = required == 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        subset.push_back(ids[i]);
+        if (ids[i] == required) has_required = true;
+      }
+    }
+    if (has_required) out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+/// Per-location error averaged over anchor subsets.
+std::vector<double> AverageOverSubsets(
+    const std::vector<std::vector<double>>& per_subset) {
+  std::vector<double> avg(per_subset.front().size(), 0.0);
+  for (const auto& errors : per_subset) {
+    for (std::size_t i = 0; i < errors.size(); ++i) avg[i] += errors[i];
+  }
+  for (double& e : avg) e /= static_cast<double>(per_subset.size());
+  return avg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  std::cout << "=== Figure 9(b): effect of number of anchors ("
+            << setup.options.locations << " locations) ===\n";
+
+  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const std::uint32_t master_id = dataset.deployment.Master()->id;
+  std::vector<std::uint32_t> all_ids;
+  for (const auto& a : dataset.deployment.anchors) all_ids.push_back(a.id);
+
+  std::vector<eval::NamedCdf> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t count : {4u, 3u, 2u}) {
+    // BLoc: subsets must contain the master (it terminates the connection).
+    std::vector<std::vector<double>> bloc_runs;
+    for (const auto& subset : SubsetsWith(all_ids, count, master_id)) {
+      core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+      config.allowed_anchors = subset;
+      bloc_runs.push_back(sim::EvaluateBloc(dataset, config));
+    }
+    const std::vector<double> bloc_errors = AverageOverSubsets(bloc_runs);
+
+    // AoA baseline: any subset works.
+    std::vector<std::vector<double>> aoa_runs;
+    for (const auto& subset : SubsetsWith(all_ids, count, 0)) {
+      baseline::AoaBaselineConfig config;
+      config.grid = dataset.room_grid;
+      config.allowed_anchors = subset;
+      aoa_runs.push_back(sim::EvaluateAoa(dataset, config));
+    }
+    const std::vector<double> aoa_errors = AverageOverSubsets(aoa_runs);
+
+    series.push_back({"BLoc, " + std::to_string(count) + " anchors",
+                      dsp::MakeCdf(bloc_errors)});
+    series.push_back({"AoA, " + std::to_string(count) + " anchors",
+                      dsp::MakeCdf(aoa_errors)});
+    const auto bs = eval::ComputeStats(bloc_errors);
+    const auto as = eval::ComputeStats(aoa_errors);
+    rows.push_back({std::to_string(count), bench::FmtCm(bs.median),
+                    bench::FmtCm(bs.p90), bench::FmtCm(as.median),
+                    bench::FmtCm(as.p90)});
+  }
+
+  eval::PrintCdfPlot(std::cout, series);
+  std::cout << "\n";
+  eval::PrintTable(std::cout,
+                   {"anchors", "BLoc median", "BLoc p90", "AoA median",
+                    "AoA p90"},
+                   rows);
+  std::cout << "\n  paper: BLoc 86 / 91.5 cm and AoA 242 / 247 cm for 4 / 3 "
+               "anchors; both sharply worse at 2 anchors\n";
+  eval::WriteCsv(setup.csv_path,
+                 {"anchors", "bloc_median_cm", "bloc_p90_cm", "aoa_median_cm",
+                  "aoa_p90_cm"},
+                 rows);
+  return 0;
+}

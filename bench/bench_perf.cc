@@ -1,0 +1,126 @@
+// Performance microbenchmarks (google-benchmark): throughput of the
+// pipeline stages — GFSK modulation, CSI extraction, path solving, corrected
+// channels, the joint likelihood map, and the wire codec.
+#include <benchmark/benchmark.h>
+
+#include "bloc/corrected_channel.h"
+#include "dsp/complex_ops.h"
+#include "bloc/localizer.h"
+#include "dsp/fft.h"
+#include "net/messages.h"
+#include "phy/csi_extract.h"
+#include "phy/packet.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using namespace bloc;
+
+const sim::Dataset& SharedDataset() {
+  static const sim::Dataset dataset = [] {
+    sim::DatasetOptions options;
+    options.locations = 4;
+    return sim::GenerateDataset(sim::PaperTestbed(1), options);
+  }();
+  return dataset;
+}
+
+void BM_GfskModulate(benchmark::State& state) {
+  const phy::Packet packet = phy::MakeLocalizationPacket(10, 0x50C0FFEEu);
+  const phy::Bits air = phy::AssembleAirBits(packet, 10, 0x123456u);
+  const phy::GfskModulator mod;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.Modulate(air));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(air.size()));
+}
+BENCHMARK(BM_GfskModulate);
+
+void BM_CsiExtract(benchmark::State& state) {
+  const phy::Packet packet = phy::MakeLocalizationPacket(10, 0x50C0FFEEu);
+  const phy::Bits air = phy::AssembleAirBits(packet, 10, 0x123456u);
+  const phy::CsiExtractor extractor;
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  dsp::CVec rx = tx;
+  for (auto& v : rx) v *= dsp::cplx{0.3, -0.7};
+  const phy::PlateauIndices plateaus = extractor.FindPlateaus(air);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Estimate(tx, rx, plateaus));
+  }
+}
+BENCHMARK(BM_CsiExtract);
+
+void BM_Fft4096(benchmark::State& state) {
+  dsp::CVec data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = dsp::Rotor(0.001 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    dsp::CVec copy = data;
+    dsp::Fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+void BM_PathSolve(benchmark::State& state) {
+  const sim::ScenarioConfig scenario = sim::PaperTestbed(1);
+  const sim::Testbed testbed(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        testbed.solver().Solve({1.3, 2.1}, {5.9, 2.5}));
+  }
+}
+BENCHMARK(BM_PathSolve);
+
+void BM_CorrectedChannels(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeCorrectedChannels(dataset.rounds[0]));
+  }
+}
+BENCHMARK(BM_CorrectedChannels);
+
+void BM_JointLikelihoodMap(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  const core::CorrectedChannels corrected =
+      core::ComputeCorrectedChannels(dataset.rounds[0]);
+  const core::Localizer localizer(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localizer.FusedMap(corrected));
+  }
+}
+BENCHMARK(BM_JointLikelihoodMap);
+
+void BM_LocateEndToEnd(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  const core::Localizer localizer(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        localizer.Locate(dataset.rounds[i++ % dataset.rounds.size()]));
+  }
+}
+BENCHMARK(BM_LocateEndToEnd);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  const net::CsiReportMsg msg{dataset.rounds[0].reports[0]};
+  for (auto _ : state) {
+    const net::Buffer frame = net::EncodeFrame(msg);
+    std::optional<net::Message> decoded;
+    benchmark::DoNotOptimize(net::DecodeFrame(frame, decoded));
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(net::EncodeFrame(msg).size()));
+}
+BENCHMARK(BM_WireRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

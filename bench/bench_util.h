@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "sim/cli.h"
+#include "sim/experiment.h"
+
+namespace bloc::bench {
+
+struct BenchSetup {
+  sim::ScenarioConfig scenario;
+  sim::DatasetOptions options;
+  std::string csv_path;
+};
+
+/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R.
+inline BenchSetup ParseSetup(int argc, char** argv,
+                             std::size_t default_locations = 250) {
+  sim::CliArgs args(argc, argv);
+  BenchSetup setup;
+  setup.scenario = sim::PaperTestbed(args.U64("seed", 1));
+  setup.options.locations = args.SizeT("locations", default_locations);
+  setup.options.grid_resolution = args.Double("resolution", 0.075);
+  setup.csv_path = args.Str("csv", "");
+  return setup;
+}
+
+inline sim::Dataset GenerateWithProgress(const BenchSetup& setup) {
+  sim::DatasetOptions options = setup.options;
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 100 == 0 || done == total) {
+      std::cerr << "  measured " << done << "/" << total << " locations\r";
+      if (done == total) std::cerr << "\n";
+    }
+  };
+  return sim::GenerateDataset(setup.scenario, options);
+}
+
+inline std::string FmtCm(double metres) {
+  return eval::Fmt(metres * 100.0, 1) + " cm";
+}
+
+}  // namespace bloc::bench

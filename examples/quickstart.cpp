@@ -1,0 +1,51 @@
+// Quickstart: build the paper's testbed, run a few measurement rounds and
+// localize the tag with BLoc.
+//
+//   ./quickstart [--locations=5] [--seed=1]
+#include <iostream>
+
+#include "bloc/localizer.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "sim/cli.h"
+#include "sim/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace bloc;
+  sim::CliArgs args(argc, argv);
+
+  sim::ScenarioConfig scenario = sim::PaperTestbed(args.U64("seed", 1));
+  sim::DatasetOptions options;
+  options.locations = args.SizeT("locations", 5);
+
+  std::cout << "BLoc quickstart: " << options.locations
+            << " tag positions in a " << scenario.room_width << " m x "
+            << scenario.room_height << " m multipath-rich room, "
+            << scenario.anchors.size() << " anchors\n\n";
+
+  const sim::Dataset dataset = sim::GenerateDataset(scenario, options);
+  const core::Localizer localizer(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset));
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+    const core::LocationResult result = localizer.Locate(dataset.rounds[i]);
+    const double err =
+        eval::LocalizationError(result.position, dataset.truths[i]);
+    errors.push_back(err);
+    rows.push_back({std::to_string(i),
+                    eval::Fmt(dataset.truths[i].x, 2) + ", " +
+                        eval::Fmt(dataset.truths[i].y, 2),
+                    eval::Fmt(result.position.x, 2) + ", " +
+                        eval::Fmt(result.position.y, 2),
+                    eval::Fmt(err, 3)});
+  }
+  eval::PrintTable(std::cout, {"round", "truth (m)", "BLoc estimate (m)",
+                               "error (m)"},
+                   rows);
+  const eval::ErrorStats stats = eval::ComputeStats(errors);
+  std::cout << "\nmedian error: " << eval::Fmt(stats.median, 3)
+            << " m, p90: " << eval::Fmt(stats.p90, 3) << " m\n";
+  return 0;
+}

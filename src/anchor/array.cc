@@ -1,0 +1,55 @@
+#include "anchor/array.h"
+
+#include <cmath>
+
+#include "dsp/types.h"
+
+namespace bloc::anchor {
+
+double HalfWavelengthSpacing() {
+  return dsp::kSpeedOfLight / 2.44e9 / 2.0;
+}
+
+geom::Vec2 ArrayGeometry::AntennaPosition(std::size_t antenna) const {
+  const geom::Vec2 axis{std::cos(axis_radians), std::sin(axis_radians)};
+  return origin + axis * (spacing_m * static_cast<double>(antenna));
+}
+
+std::vector<geom::Vec2> ArrayGeometry::AllAntennaPositions() const {
+  std::vector<geom::Vec2> out;
+  out.reserve(num_antennas);
+  for (std::size_t j = 0; j < num_antennas; ++j) {
+    out.push_back(AntennaPosition(j));
+  }
+  return out;
+}
+
+geom::Vec2 ArrayGeometry::Boresight() const {
+  const geom::Vec2 axis{std::cos(axis_radians), std::sin(axis_radians)};
+  return axis.Perp();
+}
+
+geom::Vec2 ArrayGeometry::Centroid() const {
+  const geom::Vec2 first = AntennaPosition(0);
+  const geom::Vec2 last = AntennaPosition(num_antennas - 1);
+  return (first + last) * 0.5;
+}
+
+ArrayGeometry MakeFacingArray(const geom::Vec2& center,
+                              const geom::Vec2& facing,
+                              std::size_t num_antennas, double spacing_m) {
+  ArrayGeometry g;
+  g.num_antennas = num_antennas;
+  g.spacing_m = spacing_m;
+  const geom::Vec2 f = facing.Normalized();
+  // Array axis perpendicular to the facing direction; Perp() of the axis
+  // must equal `facing`, so the axis is facing rotated by -90 degrees.
+  const geom::Vec2 axis = -f.Perp();
+  g.axis_radians = axis.Angle();
+  const double half_span =
+      spacing_m * static_cast<double>(num_antennas - 1) / 2.0;
+  g.origin = center - axis * half_span;
+  return g;
+}
+
+}  // namespace bloc::anchor

@@ -1,0 +1,38 @@
+// Uniform linear antenna array geometry for a BLoc anchor point (paper §7:
+// four 4-antenna USRP anchors, half-wavelength spacing).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace bloc::anchor {
+
+/// Half wavelength at the 2.44 GHz BLE band centre.
+double HalfWavelengthSpacing();
+
+struct ArrayGeometry {
+  /// Position of antenna 0.
+  geom::Vec2 origin;
+  /// Direction of the array axis (radians from +x); antennas extend this way.
+  double axis_radians = 0.0;
+  double spacing_m = 0.0614;  // ~lambda/2 at 2.44 GHz
+  std::size_t num_antennas = 4;
+
+  geom::Vec2 AntennaPosition(std::size_t antenna) const;
+  std::vector<geom::Vec2> AllAntennaPositions() const;
+  /// Boresight (normal to the array axis, pointing "into the room" by
+  /// convention of +90 degrees from the axis).
+  geom::Vec2 Boresight() const;
+  geom::Vec2 Centroid() const;
+};
+
+/// Builds a `num_antennas`-element array centred at `center`, with the
+/// array axis perpendicular to `facing` so boresight points along `facing`.
+ArrayGeometry MakeFacingArray(const geom::Vec2& center,
+                              const geom::Vec2& facing,
+                              std::size_t num_antennas = 4,
+                              double spacing_m = 0.0614);
+
+}  // namespace bloc::anchor

@@ -1,0 +1,12 @@
+#include "anchor/csi_report.h"
+
+namespace bloc::anchor {
+
+const BandMeasurement* CsiReport::FindBand(std::uint8_t data_channel) const {
+  for (const BandMeasurement& b : bands) {
+    if (b.data_channel == data_channel) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace bloc::anchor

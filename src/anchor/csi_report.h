@@ -1,0 +1,37 @@
+// Measurement records an anchor ships to the central server (paper §3):
+// for every hopped band, the CSI of the tag's packet on every antenna plus
+// the CSI of the master anchor's response (the overheard side used for
+// phase-offset cancellation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace bloc::anchor {
+
+struct BandMeasurement {
+  std::uint8_t data_channel = 0;
+  double freq_hz = 0.0;
+  /// CSI of the tag->anchor transmission, one entry per antenna (h-hat_ij).
+  dsp::CVec tag_csi;
+  /// CSI of the master->anchor transmission per antenna (H-hat_ij); on the
+  /// master anchor itself this is left empty (there is nothing to overhear).
+  dsp::CVec master_csi;
+  /// Received signal strength of the tag packet, dB (relative scale).
+  double rssi_db = 0.0;
+};
+
+struct CsiReport {
+  std::uint32_t anchor_id = 0;
+  bool is_master = false;
+  /// Measurement round this report belongs to (one localization sweep).
+  std::uint64_t round_id = 0;
+  std::vector<BandMeasurement> bands;
+
+  /// The band entry for `data_channel`, or nullptr.
+  const BandMeasurement* FindBand(std::uint8_t data_channel) const;
+};
+
+}  // namespace bloc::anchor

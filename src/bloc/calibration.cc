@@ -1,0 +1,47 @@
+#include "bloc/calibration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bloc::core {
+
+const AnchorPose* Deployment::Master() const {
+  for (const AnchorPose& a : anchors) {
+    if (a.is_master) return &a;
+  }
+  return nullptr;
+}
+
+const AnchorPose* Deployment::Find(std::uint32_t id) const {
+  for (const AnchorPose& a : anchors) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+double Deployment::MasterReferenceDistance(std::uint32_t id) const {
+  const AnchorPose* master = Master();
+  const AnchorPose* anchor = Find(id);
+  if (master == nullptr || anchor == nullptr) {
+    throw std::invalid_argument(
+        "MasterReferenceDistance: unknown anchor or no master");
+  }
+  if (anchor->is_master) return 0.0;
+  return geom::Distance(anchor->geometry.AntennaPosition(0),
+                        master->geometry.AntennaPosition(0));
+}
+
+std::vector<std::uint32_t> Deployment::AnchorIds() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(anchors.size());
+  for (const AnchorPose& a : anchors) ids.push_back(a.id);
+  std::stable_sort(ids.begin(), ids.end(), [this](auto x, auto y) {
+    const bool mx = Find(x)->is_master;
+    const bool my = Find(y)->is_master;
+    if (mx != my) return mx;
+    return x < y;
+  });
+  return ids;
+}
+
+}  // namespace bloc::core

@@ -1,0 +1,34 @@
+// Deployment-time calibration: anchor poses are surveyed once when the
+// anchors are installed, giving the localizer the antenna positions and the
+// fixed anchor-to-master distances d_i0^00 that Eq. 14 needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "anchor/array.h"
+
+namespace bloc::core {
+
+struct AnchorPose {
+  std::uint32_t id = 0;
+  bool is_master = false;
+  anchor::ArrayGeometry geometry;
+};
+
+struct Deployment {
+  std::vector<AnchorPose> anchors;
+
+  const AnchorPose* Master() const;
+  const AnchorPose* Find(std::uint32_t id) const;
+
+  /// d_i0^00: distance from antenna 0 of anchor `id` to antenna 0 of the
+  /// master anchor (0 for the master itself). Throws if either is missing.
+  double MasterReferenceDistance(std::uint32_t id) const;
+
+  /// Ids of all anchors, master first.
+  std::vector<std::uint32_t> AnchorIds() const;
+};
+
+}  // namespace bloc::core

@@ -1,0 +1,79 @@
+#include "bloc/corrected_channel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bloc::core {
+
+using anchor::BandMeasurement;
+using anchor::CsiReport;
+using dsp::cplx;
+
+CorrectedChannels ComputeCorrectedChannels(
+    const net::MeasurementRound& round) {
+  const CsiReport* master = nullptr;
+  for (const CsiReport& r : round.reports) {
+    if (r.is_master) {
+      if (master != nullptr) {
+        throw std::invalid_argument("corrected channels: multiple masters");
+      }
+      master = &r;
+    }
+  }
+  if (master == nullptr) {
+    throw std::invalid_argument("corrected channels: no master report");
+  }
+
+  // Bands present in every report (channel hops can be lost to noise).
+  std::vector<std::uint8_t> common;
+  for (const BandMeasurement& b : master->bands) {
+    bool everywhere = true;
+    for (const CsiReport& r : round.reports) {
+      if (r.FindBand(b.data_channel) == nullptr) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) common.push_back(b.data_channel);
+  }
+  if (common.empty()) {
+    throw std::invalid_argument("corrected channels: no common bands");
+  }
+  std::sort(common.begin(), common.end(), [&](std::uint8_t a, std::uint8_t b) {
+    return master->FindBand(a)->freq_hz < master->FindBand(b)->freq_hz;
+  });
+
+  CorrectedChannels out;
+  out.band_channels = common;
+  out.band_freqs_hz.reserve(common.size());
+  for (std::uint8_t c : common) {
+    out.band_freqs_hz.push_back(master->FindBand(c)->freq_hz);
+  }
+
+  for (const CsiReport& r : round.reports) {
+    AnchorCorrected ac;
+    ac.anchor_id = r.anchor_id;
+    ac.is_master = r.is_master;
+    const std::size_t antennas = r.bands.front().tag_csi.size();
+    ac.alpha.assign(antennas, dsp::CVec(common.size(), cplx{0, 0}));
+    for (std::size_t k = 0; k < common.size(); ++k) {
+      const BandMeasurement* band = r.FindBand(common[k]);
+      const BandMeasurement* mband = master->FindBand(common[k]);
+      const cplx h00 = mband->tag_csi.at(0);
+      for (std::size_t j = 0; j < antennas; ++j) {
+        const cplx h_ij = band->tag_csi.at(j);
+        if (r.is_master) {
+          ac.alpha[j][k] = h_ij * std::conj(h00);
+        } else {
+          // Overheard master response, measured at this anchor's antenna 0.
+          const cplx big_h_i0 = band->master_csi.at(0);
+          ac.alpha[j][k] = h_ij * std::conj(big_h_i0) * std::conj(h00);
+        }
+      }
+    }
+    out.anchors.push_back(std::move(ac));
+  }
+  return out;
+}
+
+}  // namespace bloc::core

@@ -1,0 +1,44 @@
+// BLoc's phase-offset cancellation (paper §5.2, Eq. 7-10).
+//
+// Measured channels carry e^{j(phi_T - phi_Ri)} garbage that changes on
+// every frequency retune. For a slave anchor i, combining the overheard
+// tag packet (h-hat_ij), the overheard master response (H-hat_i0) and the
+// master's own measurement of the tag (h-hat_00) as
+//
+//     alpha_ij = h-hat_ij * conj(H-hat_i0) * conj(h-hat_00)
+//
+// cancels every offset: the result depends only on physical path geometry.
+// For the master anchor itself, alpha_0j = h-hat_0j * conj(h-hat_00) — both
+// factors share the same phi_T - phi_R0, so offsets cancel and the Eq. 14
+// exponent reduces to the d_i0 = 0 case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+#include "net/collector.h"
+
+namespace bloc::core {
+
+struct AnchorCorrected {
+  std::uint32_t anchor_id = 0;
+  bool is_master = false;
+  /// alpha[antenna][band_index], aligned with CorrectedChannels::band_*.
+  std::vector<dsp::CVec> alpha;
+};
+
+struct CorrectedChannels {
+  /// Bands common to every report in the round, ascending by frequency.
+  std::vector<std::uint8_t> band_channels;
+  std::vector<double> band_freqs_hz;
+  std::vector<AnchorCorrected> anchors;
+
+  std::size_t num_bands() const { return band_freqs_hz.size(); }
+};
+
+/// Computes corrected channels for a complete measurement round. Throws if
+/// the round has no master report or no common bands.
+CorrectedChannels ComputeCorrectedChannels(const net::MeasurementRound& round);
+
+}  // namespace bloc::core

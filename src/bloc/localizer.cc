@@ -1,0 +1,103 @@
+#include "bloc/localizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bloc::core {
+
+Localizer::Localizer(Deployment deployment, LocalizerConfig config)
+    : deployment_(std::move(deployment)), config_(std::move(config)) {
+  if (deployment_.Master() == nullptr) {
+    throw std::invalid_argument("Localizer: deployment has no master anchor");
+  }
+  if (!config_.grid.Valid()) {
+    throw std::invalid_argument("Localizer: invalid grid spec");
+  }
+  if (!config_.allowed_anchors.empty()) {
+    const auto& allowed = config_.allowed_anchors;
+    if (std::find(allowed.begin(), allowed.end(),
+                  deployment_.Master()->id) == allowed.end()) {
+      throw std::invalid_argument(
+          "Localizer: allowed_anchors must include the master anchor");
+    }
+  }
+}
+
+net::MeasurementRound Localizer::Filter(
+    const net::MeasurementRound& round) const {
+  net::MeasurementRound out;
+  out.round_id = round.round_id;
+  for (const anchor::CsiReport& r : round.reports) {
+    if (!config_.allowed_anchors.empty()) {
+      const auto& allowed = config_.allowed_anchors;
+      if (std::find(allowed.begin(), allowed.end(), r.anchor_id) ==
+          allowed.end()) {
+        continue;
+      }
+    }
+    anchor::CsiReport copy;
+    copy.anchor_id = r.anchor_id;
+    copy.is_master = r.is_master;
+    copy.round_id = r.round_id;
+    for (const anchor::BandMeasurement& b : r.bands) {
+      if (!config_.allowed_channels.empty()) {
+        const auto& ch = config_.allowed_channels;
+        if (std::find(ch.begin(), ch.end(), b.data_channel) == ch.end()) {
+          continue;
+        }
+      }
+      copy.bands.push_back(b);
+    }
+    if (!copy.bands.empty()) out.reports.push_back(std::move(copy));
+  }
+  return out;
+}
+
+CorrectedChannels Localizer::CorrectedFor(
+    const net::MeasurementRound& round) const {
+  return ComputeCorrectedChannels(Filter(round));
+}
+
+dsp::Grid2D Localizer::FusedMap(const CorrectedChannels& corrected) const {
+  dsp::Grid2D fused(config_.grid);
+  const AnchorPose* master = deployment_.Master();
+  const geom::Vec2 master_ref = master->geometry.AntennaPosition(0);
+  for (const AnchorCorrected& ac : corrected.anchors) {
+    const AnchorPose* pose = deployment_.Find(ac.anchor_id);
+    if (pose == nullptr) {
+      throw std::invalid_argument("FusedMap: report from unknown anchor");
+    }
+    SpectraInput input;
+    input.channels = &ac;
+    input.geometry = pose->geometry;
+    input.master_ref_antenna = master_ref;
+    input.master_ref_distance =
+        deployment_.MasterReferenceDistance(ac.anchor_id);
+    input.band_freqs_hz = corrected.band_freqs_hz;
+    input.max_antennas = config_.max_antennas;
+    dsp::Grid2D map = JointLikelihoodMap(input, config_.grid);
+    // Peak-normalize so one near anchor cannot drown the others.
+    map.NormalizePeak();
+    fused.Add(map);
+  }
+  return fused;
+}
+
+LocationResult Localizer::Locate(const net::MeasurementRound& round) const {
+  const CorrectedChannels corrected = CorrectedFor(round);
+  dsp::Grid2D fused = FusedMap(corrected);
+  const Selection sel = SelectLocation(fused, deployment_, config_.scoring);
+
+  LocationResult result;
+  result.position = sel.position;
+  result.score = sel.peaks.front().score;
+  result.peaks = sel.peaks;
+  result.bands_used = corrected.num_bands();
+  result.anchors_used = corrected.anchors.size();
+  if (config_.keep_map) {
+    result.fused_map = std::make_shared<dsp::Grid2D>(std::move(fused));
+  }
+  return result;
+}
+
+}  // namespace bloc::core

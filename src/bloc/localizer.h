@@ -1,0 +1,66 @@
+// The full BLoc pipeline (paper §5): corrected channels -> per-anchor joint
+// likelihood -> cross-anchor fusion -> multipath-rejecting peak selection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloc/calibration.h"
+#include "bloc/corrected_channel.h"
+#include "bloc/multipath.h"
+#include "bloc/spectra.h"
+#include "dsp/grid2d.h"
+#include "net/collector.h"
+
+namespace bloc::core {
+
+struct LocalizerConfig {
+  /// Search region; typically the room plus a small margin.
+  dsp::GridSpec grid{0.0, 0.0, 6.0, 5.0, 0.075};
+  ScoringConfig scoring;
+  /// Use only the first N antennas of each anchor (0 = all) — §8.4.
+  std::size_t max_antennas = 0;
+  /// Restrict to these data channels (empty = all present) — §8.5/8.6.
+  std::vector<std::uint8_t> allowed_channels;
+  /// Restrict to these anchors (empty = all; must include the master) — §8.3.
+  std::vector<std::uint32_t> allowed_anchors;
+  /// Retain the fused likelihood map in the result (costs memory).
+  bool keep_map = false;
+};
+
+struct LocationResult {
+  geom::Vec2 position;
+  double score = 0.0;
+  std::vector<ScoredPeak> peaks;
+  std::size_t bands_used = 0;
+  std::size_t anchors_used = 0;
+  /// Present when LocalizerConfig::keep_map is set.
+  std::shared_ptr<const dsp::Grid2D> fused_map;
+};
+
+class Localizer {
+ public:
+  Localizer(Deployment deployment, LocalizerConfig config);
+
+  /// Localizes the tag from one complete measurement round.
+  LocationResult Locate(const net::MeasurementRound& round) const;
+
+  /// The corrected channels after anchor/band filtering — exposed for
+  /// diagnostics and the microbenchmarks.
+  CorrectedChannels CorrectedFor(const net::MeasurementRound& round) const;
+
+  /// Builds the fused (cross-anchor) likelihood map without peak selection.
+  dsp::Grid2D FusedMap(const CorrectedChannels& corrected) const;
+
+  const Deployment& deployment() const { return deployment_; }
+  const LocalizerConfig& config() const { return config_; }
+
+ private:
+  net::MeasurementRound Filter(const net::MeasurementRound& round) const;
+
+  Deployment deployment_;
+  LocalizerConfig config_;
+};
+
+}  // namespace bloc::core

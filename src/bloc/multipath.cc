@@ -1,0 +1,54 @@
+#include "bloc/multipath.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::core {
+
+Selection SelectLocation(const dsp::Grid2D& fused,
+                         const Deployment& deployment,
+                         const ScoringConfig& config) {
+  std::vector<dsp::Peak> raw = dsp::FindPeaks(fused, config.peaks);
+  if (raw.empty()) {
+    // Degenerate map (e.g. all-flat): fall back to the global maximum.
+    const auto cell = fused.ArgMax();
+    raw.push_back({cell.col, cell.row, fused.At(cell.col, cell.row),
+                   fused.XOf(cell.col), fused.YOf(cell.row)});
+  }
+
+  Selection sel;
+  sel.peaks.reserve(raw.size());
+  for (const dsp::Peak& p : raw) {
+    ScoredPeak sp;
+    sp.peak = p;
+    sp.entropy =
+        dsp::SpatialEntropy(fused, p.col, p.row, config.entropy_window_radius);
+    const geom::Vec2 x{p.x, p.y};
+    for (const AnchorPose& a : deployment.anchors) {
+      sp.sum_distance += geom::Distance(x, a.geometry.Centroid());
+    }
+    switch (config.mode) {
+      case SelectionMode::kBlocScore:
+        sp.score = p.value * std::exp(-config.b * sp.entropy -
+                                      config.a * sp.sum_distance);
+        break;
+      case SelectionMode::kShortestDistance:
+        // Larger score == better, so negate the distance.
+        sp.score = -sp.sum_distance;
+        break;
+      case SelectionMode::kMaxLikelihood:
+        sp.score = p.value;
+        break;
+    }
+    sel.peaks.push_back(sp);
+  }
+  std::sort(sel.peaks.begin(), sel.peaks.end(),
+            [](const ScoredPeak& a, const ScoredPeak& b) {
+              return a.score > b.score;
+            });
+  sel.position = {sel.peaks.front().peak.x, sel.peaks.front().peak.y};
+  return sel;
+}
+
+}  // namespace bloc::core

@@ -1,0 +1,56 @@
+// Multipath rejection (paper §5.4): among the peaks of the fused likelihood
+// map, pick the direct-path peak using a weighted combination of
+//   - total distance to the anchors (direct paths are shortest), and
+//   - spatial entropy of the likelihood around the peak (reflections are
+//     spread out because real reflectors scatter; direct peaks are sharp).
+//
+// Score (Eq. 18 with the entropy sign matching the stated intuition that
+// direct paths are "peaky"): s_x = p_x * exp(-b*H - a*sum_i d_i).
+#pragma once
+
+#include <vector>
+
+#include "bloc/calibration.h"
+#include "dsp/grid2d.h"
+#include "dsp/peaks.h"
+#include "geom/vec2.h"
+
+namespace bloc::core {
+
+enum class SelectionMode {
+  /// Full BLoc scoring: likelihood x entropy x distance (Eq. 18).
+  kBlocScore,
+  /// Naive baseline of §8.7: the peak with the smallest total distance.
+  kShortestDistance,
+  /// Pick the global maximum of the fused map (no multipath rejection).
+  kMaxLikelihood,
+};
+
+struct ScoringConfig {
+  double a = 0.1;   // weight of the distance term (paper §7)
+  double b = 0.05;  // weight of the entropy term (paper §7)
+  /// Radius of the circular entropy window in cells; 3 gives the paper's
+  /// 7x7 window.
+  std::size_t entropy_window_radius = 3;
+  dsp::PeakOptions peaks;
+  SelectionMode mode = SelectionMode::kBlocScore;
+};
+
+struct ScoredPeak {
+  dsp::Peak peak;
+  double entropy = 0.0;       // H around the peak
+  double sum_distance = 0.0;  // sum_i |x - anchor_i|
+  double score = 0.0;
+};
+
+struct Selection {
+  geom::Vec2 position;
+  std::vector<ScoredPeak> peaks;  // all candidates, scored, best first
+};
+
+/// Scores every peak of `fused` and selects the direct-path location.
+/// Throws if the map has no peaks at all.
+Selection SelectLocation(const dsp::Grid2D& fused, const Deployment& deployment,
+                         const ScoringConfig& config);
+
+}  // namespace bloc::core

@@ -1,0 +1,182 @@
+#include "bloc/spectra.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::core {
+
+using dsp::cplx;
+using dsp::kSpeedOfLight;
+using dsp::kTwoPi;
+
+namespace {
+
+struct BandComb {
+  double f0 = 0.0;       // lowest band frequency
+  double step = 2.0e6;   // BLE channel spacing
+  /// alpha value at integer step k (zero where no band is present).
+  /// dense[antenna][k]
+  std::vector<dsp::CVec> dense;
+  std::size_t num_steps = 0;
+};
+
+/// Re-indexes the (possibly gappy) band list onto a dense 2 MHz comb so the
+/// per-cell band sum becomes a single rotor walk.
+BandComb MakeComb(const SpectraInput& input, std::size_t antennas) {
+  const auto& freqs = input.band_freqs_hz;
+  if (freqs.empty()) throw std::invalid_argument("spectra: no bands");
+  BandComb comb;
+  comb.f0 = freqs.front();
+  std::size_t max_k = 0;
+  std::vector<std::size_t> k_of(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double delta = freqs[i] - comb.f0;
+    if (delta < -1.0) throw std::invalid_argument("spectra: bands unsorted");
+    const auto k = static_cast<std::size_t>(std::llround(delta / comb.step));
+    k_of[i] = k;
+    max_k = std::max(max_k, k);
+  }
+  comb.num_steps = max_k + 1;
+  comb.dense.assign(antennas, dsp::CVec(comb.num_steps, cplx{0, 0}));
+  for (std::size_t j = 0; j < antennas; ++j) {
+    const dsp::CVec& alpha = input.channels->alpha[j];
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      comb.dense[j][k_of[i]] = alpha[i];
+    }
+  }
+  return comb;
+}
+
+std::size_t EffectiveAntennas(const SpectraInput& input) {
+  const std::size_t all = input.channels->alpha.size();
+  return input.max_antennas == 0 ? all : std::min(all, input.max_antennas);
+}
+
+/// sum_k alpha_jk e^{+j 2 pi f_k D / c} via base+step rotor walk.
+cplx BandSum(const dsp::CVec& dense, const BandComb& comb, double relative_d) {
+  const double base_phi = kTwoPi * comb.f0 * relative_d / kSpeedOfLight;
+  const double step_phi = kTwoPi * comb.step * relative_d / kSpeedOfLight;
+  cplx rotor = dsp::Rotor(base_phi);
+  const cplx step = dsp::Rotor(step_phi);
+  cplx acc{0, 0};
+  for (std::size_t k = 0; k < comb.num_steps; ++k) {
+    acc += dense[k] * rotor;
+    rotor *= step;
+  }
+  return acc;
+}
+
+}  // namespace
+
+dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
+                               const dsp::GridSpec& spec) {
+  const std::size_t antennas = EffectiveAntennas(input);
+  const BandComb comb = MakeComb(input, antennas);
+  std::vector<geom::Vec2> ant_pos;
+  for (std::size_t j = 0; j < antennas; ++j) {
+    ant_pos.push_back(input.geometry.AntennaPosition(j));
+  }
+
+  dsp::Grid2D grid(spec);
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    const double y = grid.YOf(row);
+    for (std::size_t col = 0; col < grid.cols(); ++col) {
+      const geom::Vec2 x{grid.XOf(col), y};
+      const double d_ref = geom::Distance(x, input.master_ref_antenna);
+      cplx acc{0, 0};
+      for (std::size_t j = 0; j < antennas; ++j) {
+        const double d = geom::Distance(x, ant_pos[j]);
+        const double relative = d - d_ref - input.master_ref_distance;
+        acc += BandSum(comb.dense[j], comb, relative);
+      }
+      grid.At(col, row) = std::abs(acc);
+    }
+  }
+  return grid;
+}
+
+dsp::Grid2D AngleOnlyMap(const SpectraInput& input,
+                         const dsp::GridSpec& spec) {
+  const std::size_t antennas = EffectiveAntennas(input);
+  const auto& freqs = input.band_freqs_hz;
+  const double l = input.geometry.spacing_m;
+  const geom::Vec2 origin = input.geometry.AntennaPosition(0);
+  const geom::Vec2 axis{std::cos(input.geometry.axis_radians),
+                        std::sin(input.geometry.axis_radians)};
+
+  dsp::Grid2D grid(spec);
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    const double y = grid.YOf(row);
+    for (std::size_t col = 0; col < grid.cols(); ++col) {
+      const geom::Vec2 u = (geom::Vec2{grid.XOf(col), y} - origin).Normalized();
+      // See AoaBaseline: channel phase across antennas carries +u.axis, so
+      // the compensating steering angle is negated.
+      const double sin_theta = -u.Dot(axis);
+      double p = 0.0;
+      for (std::size_t k = 0; k < freqs.size(); ++k) {
+        const double psi = kTwoPi * l * sin_theta * freqs[k] / kSpeedOfLight;
+        const cplx step = dsp::Rotor(psi);
+        cplx rotor{1, 0};
+        cplx acc{0, 0};
+        for (std::size_t j = 0; j < antennas; ++j) {
+          acc += input.channels->alpha[j][k] * rotor;
+          rotor *= step;
+        }
+        p += std::abs(acc);
+      }
+      grid.At(col, row) = p;
+    }
+  }
+  return grid;
+}
+
+dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
+                            const dsp::GridSpec& spec) {
+  const std::size_t antennas = EffectiveAntennas(input);
+  const BandComb comb = MakeComb(input, antennas);
+  std::vector<geom::Vec2> ant_pos;
+  for (std::size_t j = 0; j < antennas; ++j) {
+    ant_pos.push_back(input.geometry.AntennaPosition(j));
+  }
+
+  dsp::Grid2D grid(spec);
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    const double y = grid.YOf(row);
+    for (std::size_t col = 0; col < grid.cols(); ++col) {
+      const geom::Vec2 x{grid.XOf(col), y};
+      const double d_ref = geom::Distance(x, input.master_ref_antenna);
+      double p = 0.0;
+      for (std::size_t j = 0; j < antennas; ++j) {
+        const double d = geom::Distance(x, ant_pos[j]);
+        const double relative = d - d_ref - input.master_ref_distance;
+        p += std::abs(BandSum(comb.dense[j], comb, relative));
+      }
+      grid.At(col, row) = p;
+    }
+  }
+  return grid;
+}
+
+dsp::RVec AngleSpectrum(std::span<const cplx> per_antenna, double freq_hz,
+                        double spacing_m, std::span<const double> thetas) {
+  dsp::RVec out;
+  out.reserve(thetas.size());
+  for (double theta : thetas) {
+    const double psi =
+        kTwoPi * spacing_m * std::sin(theta) * freq_hz / kSpeedOfLight;
+    const cplx step = dsp::Rotor(psi);
+    cplx rotor{1, 0};
+    cplx acc{0, 0};
+    for (const cplx& a : per_antenna) {
+      acc += a * rotor;
+      rotor *= step;
+    }
+    out.push_back(std::abs(acc));
+  }
+  return out;
+}
+
+}  // namespace bloc::core

@@ -1,0 +1,52 @@
+// Likelihood maps over 2-D space from corrected channels (paper §5.3).
+//
+// JointLikelihoodMap implements Eq. 17 mapped onto Cartesian coordinates:
+// P_i(x) = | sum_j sum_k alpha_ij^{f_k} e^{+j 2 pi f_k / c * D_ij(x)} | with
+// D_ij(x) = |x - a_ij| - |x - m_00| - d_i0, where a_ij is antenna j of
+// anchor i and m_00 is antenna 0 of the master. Angle-only (Eq. 15) and
+// distance-only (Eq. 16) maps are provided for analysis and the Fig. 6
+// illustrations.
+#pragma once
+
+#include <span>
+
+#include "anchor/array.h"
+#include "bloc/corrected_channel.h"
+#include "dsp/grid2d.h"
+#include "geom/vec2.h"
+
+namespace bloc::core {
+
+struct SpectraInput {
+  /// Corrected channels of one anchor: alpha[antenna][band].
+  const AnchorCorrected* channels = nullptr;
+  anchor::ArrayGeometry geometry;
+  /// Antenna 0 of the master anchor (relative-distance reference).
+  geom::Vec2 master_ref_antenna;
+  /// d_i0^00 from deployment calibration (0 for the master anchor).
+  double master_ref_distance = 0.0;
+  std::span<const double> band_freqs_hz;
+  /// Use only the first `max_antennas` antennas (0 = all).
+  std::size_t max_antennas = 0;
+};
+
+/// Eq. 17: coherent combination over antennas and bands.
+dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
+                               const dsp::GridSpec& spec);
+
+/// Eq. 15 mapped to space: per-band Bartlett angle spectra evaluated at the
+/// bearing of each grid cell, summed incoherently over bands.
+dsp::Grid2D AngleOnlyMap(const SpectraInput& input, const dsp::GridSpec& spec);
+
+/// Eq. 16 mapped to space: per-antenna relative-distance spectra (hyperbolic
+/// level sets), summed incoherently over antennas.
+dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
+                            const dsp::GridSpec& spec);
+
+/// The classic 1-D Bartlett angle pseudospectrum at a single band:
+/// P(theta) = | sum_j alpha_j e^{+j 2 pi j l sin(theta) f / c} | evaluated on
+/// `thetas` (radians, relative to array boresight).
+dsp::RVec AngleSpectrum(std::span<const dsp::cplx> per_antenna, double freq_hz,
+                        double spacing_m, std::span<const double> thetas);
+
+}  // namespace bloc::core

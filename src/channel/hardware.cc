@@ -1,0 +1,30 @@
+#include "channel/hardware.h"
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::chan {
+
+Oscillator::Oscillator(const ImpairmentConfig& config, dsp::Rng rng,
+                       std::size_t num_antennas)
+    : config_(config), rng_(rng.Fork("oscillator")) {
+  cfo_ppm_ = rng_.Gaussian(config_.cfo_ppm_std);
+  antenna_error_.resize(num_antennas, 0.0);
+  if (config_.antenna_phase_error_std > 0) {
+    for (double& e : antenna_error_) {
+      e = rng_.Gaussian(config_.antenna_phase_error_std);
+    }
+  }
+  Retune();
+}
+
+void Oscillator::Retune() {
+  phase_ = config_.random_retune_phase ? rng_.Uniform(0.0, dsp::kTwoPi) : 0.0;
+}
+
+dsp::cplx Oscillator::PhaseRotor(std::size_t antenna) const {
+  const double err =
+      antenna < antenna_error_.size() ? antenna_error_[antenna] : 0.0;
+  return dsp::Rotor(phase_ + err);
+}
+
+}  // namespace bloc::chan

@@ -1,0 +1,55 @@
+// Radio hardware impairments.
+//
+// The impairment BLoc is built around: every time a BLE radio retunes its
+// local oscillator to a new frequency band, the PLL locks with a random
+// phase, so measured channels carry e^{j(phi_T - phi_R)} garbage that changes
+// per hop (paper Section 5.1). We also model carrier frequency offset and
+// static per-antenna calibration error as optional extras.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace bloc::chan {
+
+struct ImpairmentConfig {
+  /// Random LO phase per retune (the core BLE impairment). Disable only in
+  /// unit tests that check the raw geometry.
+  bool random_retune_phase = true;
+  /// Std-dev of the carrier frequency offset in ppm of the carrier
+  /// (crystal tolerance; BLE allows +/-50 ppm). Drawn once per device.
+  double cfo_ppm_std = 0.0;
+  /// Std-dev (radians) of a static per-antenna phase calibration error.
+  double antenna_phase_error_std = 0.0;
+};
+
+/// The LO of one radio. All antennas of an anchor share one oscillator
+/// (paper footnote 3), so AoA within an anchor survives the offset.
+class Oscillator {
+ public:
+  Oscillator(const ImpairmentConfig& config, dsp::Rng rng,
+             std::size_t num_antennas = 1);
+
+  /// Simulates tuning to a (new) frequency: draws a fresh random LO phase.
+  void Retune();
+
+  /// Current LO phase in radians (common to all antennas).
+  double phase() const { return phase_; }
+  /// e^{j phase} including the static calibration error of `antenna`.
+  dsp::cplx PhaseRotor(std::size_t antenna = 0) const;
+
+  /// Carrier frequency offset of this radio at `carrier_hz`, in Hz.
+  double CfoHz(double carrier_hz) const { return cfo_ppm_ * 1e-6 * carrier_hz; }
+
+ private:
+  ImpairmentConfig config_;
+  dsp::Rng rng_;
+  double phase_ = 0.0;
+  double cfo_ppm_ = 0.0;
+  std::vector<double> antenna_error_;
+};
+
+}  // namespace bloc::chan

@@ -1,0 +1,23 @@
+#include "channel/noise.h"
+
+#include <cmath>
+
+namespace bloc::chan {
+
+double NoiseConfig::NoiseVariance() const {
+  // Unit-amplitude channel at 1 m (power 1.0) sees snr_at_1m_db.
+  return std::pow(10.0, -snr_at_1m_db / 10.0);
+}
+
+dsp::cplx AddMeasurementNoise(dsp::cplx h, const NoiseConfig& config,
+                              dsp::Rng& rng) {
+  return h + rng.ComplexGaussian(config.NoiseVariance());
+}
+
+double RssiDb(dsp::cplx h, const NoiseConfig& config, dsp::Rng& rng) {
+  const dsp::cplx noisy = AddMeasurementNoise(h, config, rng);
+  const double power = std::norm(noisy);
+  return 10.0 * std::log10(std::max(power, 1e-18));
+}
+
+}  // namespace bloc::chan

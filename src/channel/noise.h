@@ -1,0 +1,30 @@
+// Receiver noise model.
+//
+// The noise floor is fixed at the receiver; the channel amplitude already
+// contains 1/d spreading and obstacle losses, so links to far or obstructed
+// targets naturally come out noisier. `snr_at_1m_db` anchors the scale: a
+// clean free-space link at 1 m has that SNR.
+#pragma once
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace bloc::chan {
+
+struct NoiseConfig {
+  double snr_at_1m_db = 35.0;
+
+  /// Complex noise variance corresponding to the configured floor.
+  double NoiseVariance() const;
+};
+
+/// Adds circularly-symmetric AWGN to a channel measurement.
+dsp::cplx AddMeasurementNoise(dsp::cplx h, const NoiseConfig& config,
+                              dsp::Rng& rng);
+
+/// RSSI in dB (relative scale: 0 dB == unit channel amplitude) as reported
+/// by a receiver, including the measurement noise. Multipath fading is
+/// inherent because `h` is the full multipath channel.
+double RssiDb(dsp::cplx h, const NoiseConfig& config, dsp::Rng& rng);
+
+}  // namespace bloc::chan

@@ -1,0 +1,57 @@
+#include "channel/pathset.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::chan {
+
+using dsp::cplx;
+using dsp::kSpeedOfLight;
+using dsp::kTwoPi;
+
+cplx PathSet::Evaluate(double freq_hz) const {
+  cplx h{0.0, 0.0};
+  for (const Path& p : paths) {
+    const double phi = -kTwoPi * freq_hz * p.length_m / kSpeedOfLight;
+    h += p.amplitude * dsp::Rotor(phi);
+  }
+  return h;
+}
+
+dsp::CVec PathSet::EvaluateComb(double f_start_hz, double f_step_hz,
+                                std::size_t count) const {
+  dsp::CVec out(count, cplx{0.0, 0.0});
+  for (const Path& p : paths) {
+    const double base_phi =
+        -kTwoPi * f_start_hz * p.length_m / kSpeedOfLight;
+    const double step_phi =
+        -kTwoPi * f_step_hz * p.length_m / kSpeedOfLight;
+    cplx rotor = p.amplitude * dsp::Rotor(base_phi);
+    const cplx step = dsp::Rotor(step_phi);
+    for (std::size_t k = 0; k < count; ++k) {
+      out[k] += rotor;
+      rotor *= step;
+    }
+  }
+  return out;
+}
+
+double PathSet::ShortestLength() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Path& p : paths) best = std::min(best, p.length_m);
+  return best;
+}
+
+const Path* PathSet::Strongest() const {
+  const Path* best = nullptr;
+  for (const Path& p : paths) {
+    if (best == nullptr || std::abs(p.amplitude) > std::abs(best->amplitude)) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+}  // namespace bloc::chan

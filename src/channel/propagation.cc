@@ -1,0 +1,175 @@
+#include "channel/propagation.h"
+
+#include <cmath>
+
+#include "geom/segment.h"
+
+namespace bloc::chan {
+
+using geom::Segment;
+using geom::Vec2;
+
+namespace {
+
+/// Free-space-style amplitude: unit amplitude at 1 m, falling as 1/d.
+double SpreadAmplitude(double length_m) {
+  return 1.0 / std::max(length_m, 0.05);
+}
+
+}  // namespace
+
+PathSolver::PathSolver(const geom::Room& room, const PropagationConfig& config,
+                       std::uint64_t seed)
+    : room_(room), config_(config), shadow_seed_(seed * 0x9E3779B97F4A7C15ULL) {
+  dsp::Rng rng = dsp::Rng(seed).Fork("scatter-points");
+  const auto& faces = room_.reflectors();
+  for (std::size_t fi = 0; fi < faces.size(); ++fi) {
+    const geom::Reflector& refl = faces[fi];
+    if (refl.scattering <= 0) continue;
+    for (std::size_t s = 0; s < config_.scatter_points_per_face; ++s) {
+      // Stratified along the face so scatterers cover the whole surface.
+      const double lo =
+          static_cast<double>(s) /
+          static_cast<double>(config_.scatter_points_per_face);
+      const double hi =
+          static_cast<double>(s + 1) /
+          static_cast<double>(config_.scatter_points_per_face);
+      const double t = rng.Uniform(lo, hi);
+      // Rough-surface weights: a few dominant facets, many weak ones.
+      const double w = rng.Uniform(0.3, 1.0);
+      scatter_points_.push_back(
+          {refl.face.PointAt(t), w, static_cast<int>(fi)});
+    }
+  }
+}
+
+PathSet PathSolver::Solve(const Vec2& tx, const Vec2& rx) const {
+  PathSet out;
+  if (config_.include_direct) AddDirect(tx, rx, out);
+  if (config_.include_specular) AddSpecular(tx, rx, out);
+  if (config_.include_second_order) AddSecondOrder(tx, rx, out);
+  if (config_.include_diffuse) AddDiffuse(tx, rx, out);
+  return out;
+}
+
+void PathSolver::PushIfAudible(Path path, PathSet& out) const {
+  if (std::abs(path.amplitude) <
+      config_.amplitude_floor * SpreadAmplitude(path.length_m)) {
+    return;
+  }
+  out.paths.push_back(path);
+}
+
+void PathSolver::AddDirect(const Vec2& tx, const Vec2& rx,
+                           PathSet& out) const {
+  const double d = geom::Distance(tx, rx);
+  Path p;
+  p.length_m = d;
+  double loss_db = config_.direct_excess_loss_db;
+  if (config_.direct_shadowing_std_db > 0) {
+    // Deterministic per endpoint pair (5 cm quantization): a static
+    // environment shadows a static link identically on every band/round.
+    const auto q = [](double v) {
+      return static_cast<std::uint64_t>(std::llround(v * 20.0)) & 0xFFFFu;
+    };
+    const std::uint64_t key =
+        shadow_seed_ ^ (q(tx.x) << 48) ^ (q(tx.y) << 32) ^ (q(rx.x) << 16) ^
+        q(rx.y);
+    dsp::Rng rng(key);
+    loss_db += std::abs(rng.Gaussian(config_.direct_shadowing_std_db));
+  }
+  p.amplitude = SpreadAmplitude(d) * room_.ThroughAmplitude(tx, rx) *
+                std::pow(10.0, -loss_db / 20.0);
+  p.kind = PathKind::kDirect;
+  PushIfAudible(p, out);
+}
+
+void PathSolver::AddSpecular(const Vec2& tx, const Vec2& rx,
+                             PathSet& out) const {
+  const auto& faces = room_.reflectors();
+  for (std::size_t fi = 0; fi < faces.size(); ++fi) {
+    const geom::Reflector& refl = faces[fi];
+    if (refl.reflectivity <= 0) continue;
+    const Vec2 image = geom::MirrorAcross(tx, refl.face);
+    // The reflected ray exists iff the image->rx segment crosses the face.
+    const auto hit = geom::Intersect(Segment{image, rx}, refl.face);
+    if (!hit) continue;
+    const Vec2 s = *hit;
+    const double d = geom::Distance(tx, s) + geom::Distance(s, rx);
+    Path p;
+    p.length_m = d;
+    // Blockage of either leg by obstacles attenuates the bounce.
+    const double through =
+        room_.ThroughAmplitude(tx, s) * room_.ThroughAmplitude(s, rx);
+    p.amplitude = -refl.reflectivity * config_.reflection_gain *
+                  SpreadAmplitude(d) * through;
+    p.kind = PathKind::kSpecular;
+    p.face_index = static_cast<int>(fi);
+    PushIfAudible(p, out);
+  }
+}
+
+void PathSolver::AddSecondOrder(const Vec2& tx, const Vec2& rx,
+                                PathSet& out) const {
+  // Double bounces between the four room walls (faces 0..3): image of the
+  // image. Obstacle faces are skipped to bound cost; their energy is mostly
+  // captured by first-order + diffuse terms.
+  const auto& faces = room_.reflectors();
+  const std::size_t walls = std::min<std::size_t>(4, faces.size());
+  for (std::size_t f1 = 0; f1 < walls; ++f1) {
+    for (std::size_t f2 = 0; f2 < walls; ++f2) {
+      if (f1 == f2) continue;
+      const geom::Reflector& r1 = faces[f1];
+      const geom::Reflector& r2 = faces[f2];
+      const Vec2 image1 = geom::MirrorAcross(tx, r1.face);
+      const Vec2 image2 = geom::MirrorAcross(image1, r2.face);
+      const auto hit2 = geom::Intersect(Segment{image2, rx}, r2.face);
+      if (!hit2) continue;
+      const auto hit1 = geom::Intersect(Segment{image1, *hit2}, r1.face);
+      if (!hit1) continue;
+      const double d = geom::Distance(tx, *hit1) +
+                       geom::Distance(*hit1, *hit2) +
+                       geom::Distance(*hit2, rx);
+      const double through = room_.ThroughAmplitude(tx, *hit1) *
+                             room_.ThroughAmplitude(*hit1, *hit2) *
+                             room_.ThroughAmplitude(*hit2, rx);
+      Path p;
+      p.length_m = d;
+      p.amplitude = r1.reflectivity * r2.reflectivity *
+                    config_.reflection_gain * SpreadAmplitude(d) * through;
+      p.kind = PathKind::kSecondOrder;
+      p.face_index = static_cast<int>(f1);
+      PushIfAudible(p, out);
+    }
+  }
+}
+
+void PathSolver::AddDiffuse(const Vec2& tx, const Vec2& rx,
+                            PathSet& out) const {
+  const auto& faces = room_.reflectors();
+  for (const ScatterPoint& sp : scatter_points_) {
+    const geom::Reflector& refl = faces[static_cast<std::size_t>(
+        sp.face_index)];
+    const double d1 = geom::Distance(tx, sp.position);
+    const double d2 = geom::Distance(sp.position, rx);
+    // Both endpoints must be on the illuminated side of the face.
+    const Vec2 n = refl.face.Normal();
+    const double side_tx = n.Dot(tx - sp.position);
+    const double side_rx = n.Dot(rx - sp.position);
+    if (side_tx * side_rx <= 0) continue;
+    const double through = room_.ThroughAmplitude(tx, sp.position) *
+                           room_.ThroughAmplitude(sp.position, rx);
+    Path p;
+    p.length_m = d1 + d2;
+    // Scatterers re-radiate: amplitude falls with both legs, scaled by the
+    // material scattering coefficient and the per-point roughness weight.
+    p.amplitude = -refl.scattering * sp.weight * config_.reflection_gain *
+                  through /
+                  std::max(d1 * d2, 0.05);
+    p.kind = PathKind::kDiffuse;
+    p.face_index = sp.face_index;
+    PushIfAudible(p, out);
+  }
+}
+
+}  // namespace bloc::chan

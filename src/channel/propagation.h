@@ -1,0 +1,78 @@
+// Geometric path construction: direct path, image-method specular
+// reflections (first and second order), and diffuse scatter sub-paths that
+// model real reflectors as imperfect (the physical effect behind BLoc's
+// spatial-entropy multipath test — reflections are spread out in space
+// because different anchors/antennas see different parts of a reflector).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/pathset.h"
+#include "dsp/rng.h"
+#include "geom/room.h"
+
+namespace bloc::chan {
+
+struct PropagationConfig {
+  bool include_direct = true;
+  bool include_specular = true;
+  /// Double-bounce reflections between room walls (faces 0..3).
+  bool include_second_order = true;
+  bool include_diffuse = true;
+  /// Scatter points sampled per reflecting face (fixed per scenario).
+  std::size_t scatter_points_per_face = 4;
+  /// Extra attenuation applied to all reflected/scattered paths.
+  double reflection_gain = 1.0;
+  /// Excess loss (dB) applied to every direct path: stands in for the
+  /// out-of-plane clutter (floor/ceiling equipment, partial Fresnel-zone
+  /// obstruction) a 2-D model cannot trace. This is what makes reflections
+  /// "actually stronger than the line-of-sight path" (paper §1).
+  double direct_excess_loss_db = 0.0;
+  /// Std-dev (dB) of a lognormal shadowing term on the direct path, drawn
+  /// deterministically from the endpoint positions so it is static for a
+  /// static environment (same value on every band and round).
+  double direct_shadowing_std_db = 0.0;
+  /// Drop paths weaker than this fraction of the direct-free-space amplitude
+  /// at the same total length (keeps PathSets small).
+  double amplitude_floor = 1e-4;
+};
+
+/// Builds PathSets for point-to-point links inside a Room. The scatter-point
+/// layout is sampled once at construction from `seed`, so all links (every
+/// antenna, every band, every packet) see a consistent environment.
+class PathSolver {
+ public:
+  PathSolver(const geom::Room& room, const PropagationConfig& config,
+             std::uint64_t seed);
+
+  /// All propagation paths from `tx` to `rx`.
+  PathSet Solve(const geom::Vec2& tx, const geom::Vec2& rx) const;
+
+  const PropagationConfig& config() const { return config_; }
+  const geom::Room& room() const { return room_; }
+
+ private:
+  struct ScatterPoint {
+    geom::Vec2 position;
+    double weight = 1.0;       // per-point amplitude weight (rough surface)
+    int face_index = -1;
+  };
+
+  void AddDirect(const geom::Vec2& tx, const geom::Vec2& rx,
+                 PathSet& out) const;
+  void AddSpecular(const geom::Vec2& tx, const geom::Vec2& rx,
+                   PathSet& out) const;
+  void AddSecondOrder(const geom::Vec2& tx, const geom::Vec2& rx,
+                      PathSet& out) const;
+  void AddDiffuse(const geom::Vec2& tx, const geom::Vec2& rx,
+                  PathSet& out) const;
+  void PushIfAudible(Path path, PathSet& out) const;
+
+  const geom::Room& room_;
+  PropagationConfig config_;
+  std::uint64_t shadow_seed_ = 0;
+  std::vector<ScatterPoint> scatter_points_;
+};
+
+}  // namespace bloc::chan

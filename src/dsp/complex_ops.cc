@@ -1,0 +1,110 @@
+#include "dsp/complex_ops.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::dsp {
+
+double WrapPhase(double phi) noexcept {
+  phi = std::fmod(phi + kPi, kTwoPi);
+  if (phi < 0) phi += kTwoPi;
+  return phi - kPi;
+}
+
+cplx Rotor(double phi) noexcept { return {std::cos(phi), std::sin(phi)}; }
+
+void UnwrapInPlace(std::span<double> phases) noexcept {
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    const double delta = WrapPhase(phases[i] - phases[i - 1]);
+    phases[i] = phases[i - 1] + delta;
+  }
+}
+
+RVec Unwrapped(std::span<const double> phases) {
+  RVec out(phases.begin(), phases.end());
+  UnwrapInPlace(out);
+  return out;
+}
+
+RVec Phases(std::span<const cplx> xs) {
+  RVec out;
+  out.reserve(xs.size());
+  for (const cplx& x : xs) out.push_back(std::arg(x));
+  return out;
+}
+
+RVec Magnitudes(std::span<const cplx> xs) {
+  RVec out;
+  out.reserve(xs.size());
+  for (const cplx& x : xs) out.push_back(std::abs(x));
+  return out;
+}
+
+double CircularMeanPhase(std::span<const double> phases) noexcept {
+  cplx acc{0.0, 0.0};
+  for (double p : phases) acc += Rotor(p);
+  if (std::abs(acc) == 0.0) return 0.0;
+  return std::arg(acc);
+}
+
+cplx MergeAmpPhase(std::span<const cplx> samples) noexcept {
+  if (samples.empty()) return {0.0, 0.0};
+  double amp = 0.0;
+  cplx dir{0.0, 0.0};
+  for (const cplx& s : samples) {
+    amp += std::abs(s);
+    const double m = std::abs(s);
+    if (m > 0) dir += s / m;
+  }
+  amp /= static_cast<double>(samples.size());
+  const double phase = std::abs(dir) > 0 ? std::arg(dir) : 0.0;
+  return amp * Rotor(phase);
+}
+
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("FitLine: need >= 2 matched samples");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (std::abs(denom) < 1e-12) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  double rss = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    rss += r * r;
+  }
+  fit.rms_residual = std::sqrt(rss / n);
+  return fit;
+}
+
+cplx DotConj(std::span<const cplx> a, std::span<const cplx> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("DotConj: size mismatch");
+  }
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * std::conj(b[i]);
+  return acc;
+}
+
+double Power(std::span<const cplx> xs) noexcept {
+  double p = 0.0;
+  for (const cplx& x : xs) p += std::norm(x);
+  return p;
+}
+
+}  // namespace bloc::dsp

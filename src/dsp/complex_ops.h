@@ -1,0 +1,49 @@
+// Phase arithmetic helpers: wrapping, unwrapping, circular means and the
+// linear phase-vs-frequency fits used by the microbenchmarks (Fig. 8b).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace bloc::dsp {
+
+/// Wraps an angle into (-pi, pi].
+double WrapPhase(double phi) noexcept;
+
+/// Unit-magnitude rotor e^{j*phi}.
+cplx Rotor(double phi) noexcept;
+
+/// Unwraps a phase sequence in place (removes 2*pi jumps between samples).
+void UnwrapInPlace(std::span<double> phases) noexcept;
+RVec Unwrapped(std::span<const double> phases);
+
+/// Phases of a complex vector, in radians.
+RVec Phases(std::span<const cplx> xs);
+RVec Magnitudes(std::span<const cplx> xs);
+
+/// Circular mean of phases: arg(sum of unit rotors). Returns 0 for empty
+/// input. Robust to wrapping, unlike the arithmetic mean.
+double CircularMeanPhase(std::span<const double> phases) noexcept;
+
+/// Combines a set of channel samples into one value by averaging the
+/// amplitude and the phase separately (BLoc Section 5: the two per-band
+/// measurements h_f0, h_f1 are merged into one channel at the band centre).
+cplx MergeAmpPhase(std::span<const cplx> samples) noexcept;
+
+/// Least-squares fit phi ~= slope*x + intercept. Returns {slope, intercept}.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Root-mean-square residual of the fit.
+  double rms_residual = 0.0;
+};
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+/// Inner product sum_i a_i * conj(b_i).
+cplx DotConj(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Total power sum |x|^2.
+double Power(std::span<const cplx> xs) noexcept;
+
+}  // namespace bloc::dsp

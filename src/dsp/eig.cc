@@ -1,0 +1,154 @@
+#include "dsp/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+
+namespace bloc::dsp {
+
+CMatrix CMatrix::Identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = cplx{1, 0};
+  return m;
+}
+
+CMatrix CMatrix::Adjoint() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = std::conj(At(r, c));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::Multiply(const CMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("CMatrix::Multiply: shape mismatch");
+  }
+  CMatrix out(rows_, other.cols_);
+  for (std::size_t c = 0; c < other.cols_; ++c) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx b = other.At(k, c);
+      if (b == cplx{0, 0}) continue;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        out.At(r, c) += At(r, k) * b;
+      }
+    }
+  }
+  return out;
+}
+
+double CMatrix::OffDiagonalNorm() const {
+  double s = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r != c) s += std::norm(At(r, c));
+    }
+  }
+  return std::sqrt(s);
+}
+
+namespace {
+
+/// One complex Jacobi rotation zeroing element (p, q) of Hermitian `a`,
+/// accumulating the rotation into `v`.
+void JacobiRotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const cplx apq = a.At(p, q);
+  const double abs_apq = std::abs(apq);
+  if (abs_apq == 0.0) return;
+  const double app = a.At(p, p).real();
+  const double aqq = a.At(q, q).real();
+
+  // Diagonalize the 2x2 Hermitian block [[app, apq],[conj(apq), aqq]].
+  const double tau = (aqq - app) / (2.0 * abs_apq);
+  const double t = (tau >= 0 ? 1.0 : -1.0) /
+                   (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const cplx phase = apq / abs_apq;  // e^{j*arg(apq)}
+  const cplx sp = s * phase;
+
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx akp = a.At(k, p);
+    const cplx akq = a.At(k, q);
+    a.At(k, p) = c * akp - std::conj(sp) * akq;
+    a.At(k, q) = sp * akp + c * akq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx apk = a.At(p, k);
+    const cplx aqk = a.At(q, k);
+    a.At(p, k) = c * apk - sp * aqk;
+    a.At(q, k) = std::conj(sp) * apk + c * aqk;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx vkp = v.At(k, p);
+    const cplx vkq = v.At(k, q);
+    v.At(k, p) = c * vkp - std::conj(sp) * vkq;
+    v.At(k, q) = sp * vkp + c * vkq;
+  }
+  // Clean up the rotation targets to exactly zero / real diagonals.
+  a.At(p, q) = cplx{0, 0};
+  a.At(q, p) = cplx{0, 0};
+  a.At(p, p) = cplx{a.At(p, p).real(), 0};
+  a.At(q, q) = cplx{a.At(q, q).real(), 0};
+}
+
+}  // namespace
+
+EigResult HermitianEig(const CMatrix& input, double tol, int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("HermitianEig: matrix not square");
+  }
+  const std::size_t n = input.rows();
+  CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a.At(r, c) = 0.5 * (input.At(r, c) + std::conj(input.At(c, r)));
+    }
+  }
+  CMatrix v = CMatrix::Identity(n);
+  const double scale = std::max(1.0, a.OffDiagonalNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (a.OffDiagonalNorm() <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        JacobiRotate(a, v, p, q);
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a.At(i, i).real() > a.At(j, j).real();
+  });
+
+  EigResult res;
+  res.values.resize(n);
+  res.vectors = CMatrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    res.values[c] = a.At(order[c], order[c]).real();
+    for (std::size_t r = 0; r < n; ++r) {
+      res.vectors.At(r, c) = v.At(r, order[c]);
+    }
+  }
+  return res;
+}
+
+void AccumulateOuter(CMatrix& m, std::span<const cplx> x) {
+  if (m.rows() != x.size() || m.cols() != x.size()) {
+    throw std::invalid_argument("AccumulateOuter: shape mismatch");
+  }
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    const cplx xc = std::conj(x[c]);
+    for (std::size_t r = 0; r < x.size(); ++r) {
+      m.At(r, c) += x[r] * xc;
+    }
+  }
+}
+
+}  // namespace bloc::dsp

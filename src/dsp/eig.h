@@ -1,0 +1,59 @@
+// Dense Hermitian eigendecomposition (cyclic complex Jacobi), sized for the
+// small covariance matrices (4x4 .. 16x16) MUSIC builds from antenna arrays.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace bloc::dsp {
+
+/// Column-major dense complex matrix, square or rectangular.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0, 0}) {}
+
+  cplx& At(std::size_t r, std::size_t c) { return data_[c * rows_ + r]; }
+  const cplx& At(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  static CMatrix Identity(std::size_t n);
+  /// Hermitian (conjugate) transpose.
+  CMatrix Adjoint() const;
+  CMatrix Multiply(const CMatrix& other) const;
+  /// Frobenius norm of the off-diagonal part.
+  double OffDiagonalNorm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+struct EigResult {
+  /// Eigenvalues sorted descending (Hermitian => real).
+  std::vector<double> values;
+  /// Eigenvectors as matrix columns, matching `values` order.
+  CMatrix vectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix via cyclic complex Jacobi
+/// rotations. Throws if `a` is not square. The input is symmetrized
+/// (a + a^H)/2 first, so tiny Hermitian violations from accumulation are
+/// tolerated.
+EigResult HermitianEig(const CMatrix& a, double tol = 1e-12,
+                       int max_sweeps = 64);
+
+/// Rank-1 accumulation helper: m += x * x^H (outer product of a snapshot),
+/// the building block of sample covariance matrices.
+void AccumulateOuter(CMatrix& m, std::span<const cplx> x);
+
+}  // namespace bloc::dsp

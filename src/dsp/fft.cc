@@ -1,0 +1,72 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::dsp {
+
+void Fft(std::span<cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("Fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) /
+                       static_cast<double>(len);
+    const cplx wlen = Rotor(ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (cplx& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::size_t NextPow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double BinFrequency(std::size_t k, std::size_t n, double fs) noexcept {
+  const auto half = n / 2;
+  const double idx = k < half ? static_cast<double>(k)
+                              : static_cast<double>(k) -
+                                    static_cast<double>(n);
+  return idx * fs / static_cast<double>(n);
+}
+
+CVec ApplyTransferFunction(std::span<const cplx> x, double sample_rate_hz,
+                           const std::function<cplx(double)>& h_of_f) {
+  if (x.empty()) return {};
+  const std::size_t n = NextPow2(x.size());
+  CVec buf(n, cplx{0, 0});
+  std::copy(x.begin(), x.end(), buf.begin());
+  Fft(buf, /*inverse=*/false);
+  for (std::size_t k = 0; k < n; ++k) {
+    buf[k] *= h_of_f(BinFrequency(k, n, sample_rate_hz));
+  }
+  Fft(buf, /*inverse=*/true);
+  buf.resize(x.size());
+  return buf;
+}
+
+}  // namespace bloc::dsp

@@ -1,0 +1,28 @@
+// Radix-2 FFT, used to apply a frequency-selective channel transfer
+// function to baseband waveforms in the full-PHY simulation mode.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace bloc::dsp {
+
+/// In-place FFT; size must be a power of two.
+void Fft(std::span<cplx> data, bool inverse = false);
+
+/// Next power of two >= n (minimum 1).
+std::size_t NextPow2(std::size_t n) noexcept;
+
+/// Frequency in Hz of FFT bin `k` for an n-point transform at sample rate
+/// `fs` (negative for the upper half: standard baseband convention).
+double BinFrequency(std::size_t k, std::size_t n, double fs) noexcept;
+
+/// Filters `x` through the transfer function `h_of_f` (baseband frequency in
+/// Hz -> complex gain) by zero-padded FFT multiply. Returns a signal of the
+/// same length as `x`.
+CVec ApplyTransferFunction(std::span<const cplx> x, double sample_rate_hz,
+                           const std::function<cplx(double)>& h_of_f);
+
+}  // namespace bloc::dsp

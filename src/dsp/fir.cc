@@ -1,0 +1,89 @@
+#include "dsp/fir.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::dsp {
+
+RVec ConvolveSame(std::span<const double> x, std::span<const double> taps) {
+  if (taps.empty()) throw std::invalid_argument("ConvolveSame: empty taps");
+  RVec out(x.size(), 0.0);
+  const auto center = static_cast<std::ptrdiff_t>(taps.size() / 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      const std::ptrdiff_t j =
+          static_cast<std::ptrdiff_t>(i) - static_cast<std::ptrdiff_t>(k) +
+          center;
+      if (j >= 0 && j < static_cast<std::ptrdiff_t>(x.size())) {
+        acc += taps[k] * x[static_cast<std::size_t>(j)];
+      }
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+RVec ConvolveFull(std::span<const double> x, std::span<const double> taps) {
+  if (taps.empty()) throw std::invalid_argument("ConvolveFull: empty taps");
+  RVec out(x.size() + taps.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      out[i + k] += x[i] * taps[k];
+    }
+  }
+  return out;
+}
+
+RVec GaussianTaps(double bt, int samples_per_symbol, int span_symbols) {
+  if (bt <= 0 || samples_per_symbol < 1 || span_symbols < 1) {
+    throw std::invalid_argument("GaussianTaps: bad parameters");
+  }
+  // Standard GMSK Gaussian pulse: g(t) ~ exp(-t^2 / (2 sigma^2 T^2)) with
+  // sigma = sqrt(ln 2) / (2 pi BT), t in symbol periods.
+  const double sigma = std::sqrt(std::log(2.0)) / (kTwoPi * bt);
+  const int half = span_symbols * samples_per_symbol / 2;
+  RVec taps;
+  taps.reserve(static_cast<std::size_t>(2 * half + 1));
+  double sum = 0.0;
+  for (int n = -half; n <= half; ++n) {
+    const double t = static_cast<double>(n) /
+                     static_cast<double>(samples_per_symbol);  // in symbols
+    const double v = std::exp(-t * t / (2.0 * sigma * sigma));
+    taps.push_back(v);
+    sum += v;
+  }
+  for (double& v : taps) v /= sum;
+  return taps;
+}
+
+FirFilter::FirFilter(RVec taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  state_.assign(taps_.size(), 0.0);
+}
+
+double FirFilter::Step(double x) noexcept {
+  state_[pos_] = x;
+  double acc = 0.0;
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * state_[idx];
+    idx = (idx == 0) ? state_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % state_.size();
+  return acc;
+}
+
+RVec FirFilter::Filter(std::span<const double> xs) {
+  RVec out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(Step(x));
+  return out;
+}
+
+void FirFilter::Reset() noexcept {
+  state_.assign(state_.size(), 0.0);
+  pos_ = 0;
+}
+
+}  // namespace bloc::dsp

@@ -1,0 +1,42 @@
+// FIR filtering and the Gaussian pulse-shaping filter used by BLE GFSK.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace bloc::dsp {
+
+/// Same-length convolution: output[i] = sum_k taps[k] * x[i - k + center],
+/// zero-padded at the edges, where center = taps.size()/2.
+RVec ConvolveSame(std::span<const double> x, std::span<const double> taps);
+
+/// Full convolution (length x.size() + taps.size() - 1).
+RVec ConvolveFull(std::span<const double> x, std::span<const double> taps);
+
+/// Gaussian lowpass taps for GFSK pulse shaping.
+///
+/// `bt` is the bandwidth-bit-period product (BLE uses BT = 0.5),
+/// `samples_per_symbol` the oversampling factor and `span_symbols` the
+/// filter length in symbol periods. Taps are normalized to unit sum so a
+/// constant input passes at unit gain (frequency plateaus are preserved).
+RVec GaussianTaps(double bt, int samples_per_symbol, int span_symbols = 3);
+
+/// A streaming FIR filter (direct form) for real signals.
+class FirFilter {
+ public:
+  explicit FirFilter(RVec taps);
+
+  double Step(double x) noexcept;
+  RVec Filter(std::span<const double> xs);
+  void Reset() noexcept;
+  const RVec& taps() const noexcept { return taps_; }
+
+ private:
+  RVec taps_;
+  RVec state_;       // circular delay line
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bloc::dsp

@@ -1,0 +1,95 @@
+#include "dsp/peaks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloc::dsp {
+
+namespace {
+
+bool IsLocalMax(const Grid2D& g, std::size_t col, std::size_t row,
+                std::size_t radius) {
+  const double v = g.At(col, row);
+  const auto c0 = col >= radius ? col - radius : 0;
+  const auto r0 = row >= radius ? row - radius : 0;
+  const auto c1 = std::min(col + radius, g.cols() - 1);
+  const auto r1 = std::min(row + radius, g.rows() - 1);
+  for (std::size_t r = r0; r <= r1; ++r) {
+    for (std::size_t c = c0; c <= c1; ++c) {
+      if (c == col && r == row) continue;
+      if (g.At(c, r) > v) return false;
+      // Break plateau ties deterministically toward the lowest index.
+      if (g.At(c, r) == v && (r < row || (r == row && c < col))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Peak> FindPeaks(const Grid2D& grid, const PeakOptions& opts) {
+  std::vector<Peak> peaks;
+  const double global_max = grid.Max();
+  if (global_max <= 0.0) return peaks;
+  const double floor = global_max * opts.min_relative_height;
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    for (std::size_t col = 0; col < grid.cols(); ++col) {
+      const double v = grid.At(col, row);
+      if (v < floor) continue;
+      if (!IsLocalMax(grid, col, row, opts.neighborhood_radius)) continue;
+      peaks.push_back({col, row, v, grid.XOf(col), grid.YOf(row)});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  if (opts.max_peaks != 0 && peaks.size() > opts.max_peaks) {
+    peaks.resize(opts.max_peaks);
+  }
+  return peaks;
+}
+
+double SpatialEntropy(const Grid2D& grid, std::size_t col, std::size_t row,
+                      std::size_t radius_cells) {
+  const auto r = static_cast<std::ptrdiff_t>(radius_cells);
+  const auto cc = static_cast<std::ptrdiff_t>(col);
+  const auto rr = static_cast<std::ptrdiff_t>(row);
+  double total = 0.0;
+  std::vector<double> vals;
+  for (std::ptrdiff_t dy = -r; dy <= r; ++dy) {
+    for (std::ptrdiff_t dx = -r; dx <= r; ++dx) {
+      if (dx * dx + dy * dy > r * r) continue;  // circular window
+      const std::ptrdiff_t c = cc + dx;
+      const std::ptrdiff_t y = rr + dy;
+      if (c < 0 || y < 0 || c >= static_cast<std::ptrdiff_t>(grid.cols()) ||
+          y >= static_cast<std::ptrdiff_t>(grid.rows())) {
+        continue;
+      }
+      const double v =
+          grid.At(static_cast<std::size_t>(c), static_cast<std::size_t>(y));
+      if (v > 0) {
+        vals.push_back(v);
+        total += v;
+      }
+    }
+  }
+  if (total <= 0.0 || vals.empty()) return 0.0;
+  double h = 0.0;
+  for (double v : vals) {
+    const double p = v / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double MaxSpatialEntropy(std::size_t radius_cells) {
+  const auto r = static_cast<std::ptrdiff_t>(radius_cells);
+  std::size_t n = 0;
+  for (std::ptrdiff_t dy = -r; dy <= r; ++dy) {
+    for (std::ptrdiff_t dx = -r; dx <= r; ++dx) {
+      if (dx * dx + dy * dy <= r * r) ++n;
+    }
+  }
+  return n > 0 ? std::log(static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace bloc::dsp

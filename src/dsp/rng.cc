@@ -1,0 +1,55 @@
+#include "dsp/rng.h"
+
+#include <cmath>
+
+namespace bloc::dsp {
+
+std::uint64_t HashName(std::string_view name) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Rng Rng::Fork(std::string_view name) const {
+  // Mix the parent's seed with the child name; splitmix-style finalizer so
+  // adjacent names give uncorrelated streams.
+  std::uint64_t z = seed_ + HashName(name) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double stddev) {
+  std::normal_distribution<double> dist(0.0, stddev);
+  return dist(engine_);
+}
+
+cplx Rng::ComplexGaussian(double variance) {
+  const double s = std::sqrt(variance / 2.0);
+  return {Gaussian(s), Gaussian(s)};
+}
+
+cplx Rng::RandomRotor() {
+  const double phi = Uniform(0.0, kTwoPi);
+  return {std::cos(phi), std::sin(phi)};
+}
+
+bool Rng::Chance(double probability) {
+  return Uniform(0.0, 1.0) < probability;
+}
+
+}  // namespace bloc::dsp

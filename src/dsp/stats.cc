@@ -1,0 +1,89 @@
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::dsp {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Rmse(std::span<const double> errors) {
+  if (errors.empty()) return 0.0;
+  double s = 0.0;
+  for (double e : errors) s += e * e;
+  return std::sqrt(s / static_cast<double>(errors.size()));
+}
+
+double Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("Quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+double Cdf::At(double x) const {
+  const auto it = std::upper_bound(values.begin(), values.end(), x);
+  const auto n = static_cast<std::size_t>(it - values.begin());
+  if (values.empty()) return 0.0;
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double Cdf::InverseAt(double q) const {
+  if (values.empty()) throw std::logic_error("Cdf::InverseAt: empty CDF");
+  const auto it = std::lower_bound(probs.begin(), probs.end(), q);
+  if (it == probs.end()) return values.back();
+  return values[static_cast<std::size_t>(it - probs.begin())];
+}
+
+Cdf MakeCdf(std::span<const double> samples) {
+  Cdf cdf;
+  cdf.values.assign(samples.begin(), samples.end());
+  std::sort(cdf.values.begin(), cdf.values.end());
+  cdf.probs.resize(cdf.values.size());
+  const double n = static_cast<double>(cdf.values.size());
+  for (std::size_t i = 0; i < cdf.values.size(); ++i) {
+    cdf.probs[i] = static_cast<double>(i + 1) / n;
+  }
+  return cdf;
+}
+
+std::vector<std::size_t> Histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: bad range or zero bins");
+  }
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+}  // namespace bloc::dsp

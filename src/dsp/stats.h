@@ -1,0 +1,38 @@
+// Robust summary statistics and empirical CDFs for error evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bloc::dsp {
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // population variance
+double StdDev(std::span<const double> xs);
+double Rmse(std::span<const double> errors);
+
+/// q-th quantile (q in [0,1]) with linear interpolation; copies + sorts.
+double Quantile(std::span<const double> xs, double q);
+double Median(std::span<const double> xs);
+
+/// Empirical CDF: sorted samples plus their cumulative probabilities.
+struct Cdf {
+  std::vector<double> values;  // sorted ascending
+  std::vector<double> probs;   // probs[i] = (i+1)/n
+
+  /// P(X <= x), 0 for x below the sample range.
+  double At(double x) const;
+  /// Smallest sample v with P(X <= v) >= q.
+  double InverseAt(double q) const;
+  std::size_t size() const { return values.size(); }
+};
+
+Cdf MakeCdf(std::span<const double> samples);
+
+/// Histogram over [lo, hi) with `bins` equal-width cells; values outside the
+/// range are clamped into the end cells.
+std::vector<std::size_t> Histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace bloc::dsp

@@ -1,0 +1,23 @@
+// Common scalar/complex type aliases and physical constants used across BLoc.
+#pragma once
+
+#include <complex>
+#include <numbers>
+#include <vector>
+
+namespace bloc::dsp {
+
+using cplx = std::complex<double>;
+using CVec = std::vector<cplx>;
+using RVec = std::vector<double>;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Speed of light in m/s; all distances in metres, frequencies in Hz.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/// Imaginary unit (the paper's iota).
+inline constexpr cplx kJ{0.0, 1.0};
+
+}  // namespace bloc::dsp

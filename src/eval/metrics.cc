@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloc::eval {
+
+ErrorStats ComputeStats(std::span<const double> errors) {
+  ErrorStats s;
+  s.count = errors.size();
+  if (errors.empty()) return s;
+  s.median = dsp::Median(errors);
+  s.p90 = dsp::Quantile(errors, 0.9);
+  s.mean = dsp::Mean(errors);
+  s.stddev = dsp::StdDev(errors);
+  s.rmse = dsp::Rmse(errors);
+  return s;
+}
+
+double LocalizationError(const geom::Vec2& estimate, const geom::Vec2& truth) {
+  return geom::Distance(estimate, truth);
+}
+
+RmseHeatmap::RmseHeatmap(const dsp::GridSpec& spec)
+    : spec_(spec), sum_sq_(spec), counts_(spec) {}
+
+void RmseHeatmap::Add(const geom::Vec2& true_position, double error_m) {
+  const auto col = static_cast<std::ptrdiff_t>(
+      std::floor((true_position.x - spec_.x_min) / spec_.resolution + 0.5));
+  const auto row = static_cast<std::ptrdiff_t>(
+      std::floor((true_position.y - spec_.y_min) / spec_.resolution + 0.5));
+  const auto c = std::clamp<std::ptrdiff_t>(
+      col, 0, static_cast<std::ptrdiff_t>(sum_sq_.cols()) - 1);
+  const auto r = std::clamp<std::ptrdiff_t>(
+      row, 0, static_cast<std::ptrdiff_t>(sum_sq_.rows()) - 1);
+  sum_sq_.At(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) +=
+      error_m * error_m;
+  counts_.At(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) += 1.0;
+}
+
+dsp::Grid2D RmseHeatmap::RmseGrid() const {
+  dsp::Grid2D out(spec_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      const double n = counts_.At(c, r);
+      out.At(c, r) = n > 0 ? std::sqrt(sum_sq_.At(c, r) / n) : 0.0;
+    }
+  }
+  return out;
+}
+
+dsp::Grid2D RmseHeatmap::CountGrid() const { return counts_; }
+
+}  // namespace bloc::eval

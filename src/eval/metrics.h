@@ -1,0 +1,46 @@
+// Evaluation metrics: localization error statistics, CDFs and the spatial
+// RMSE heatmap of Fig. 13.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/grid2d.h"
+#include "dsp/stats.h"
+#include "geom/vec2.h"
+
+namespace bloc::eval {
+
+struct ErrorStats {
+  double median = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double rmse = 0.0;
+  std::size_t count = 0;
+};
+
+ErrorStats ComputeStats(std::span<const double> errors);
+
+/// Euclidean localization error.
+double LocalizationError(const geom::Vec2& estimate, const geom::Vec2& truth);
+
+/// Accumulates per-location errors into spatial bins and reports the RMSE
+/// per bin (paper Fig. 13).
+class RmseHeatmap {
+ public:
+  explicit RmseHeatmap(const dsp::GridSpec& spec);
+
+  void Add(const geom::Vec2& true_position, double error_m);
+
+  /// RMSE per cell; cells with no samples are 0 (see CountGrid).
+  dsp::Grid2D RmseGrid() const;
+  dsp::Grid2D CountGrid() const;
+
+ private:
+  dsp::GridSpec spec_;
+  dsp::Grid2D sum_sq_;
+  dsp::Grid2D counts_;
+};
+
+}  // namespace bloc::eval

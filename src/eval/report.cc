@@ -1,0 +1,112 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace bloc::eval {
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void PrintCdfPlot(std::ostream& os, const std::vector<NamedCdf>& series,
+                  double x_max_m, std::size_t width) {
+  if (series.empty()) return;
+  os << "  CDF of localization error (x: 0.." << Fmt(x_max_m, 1)
+     << " m, one row per series; each char = " << Fmt(x_max_m / width, 3)
+     << " m)\n";
+  for (const NamedCdf& s : series) {
+    os << "  " << std::left << std::setw(28) << s.label << " |";
+    for (std::size_t i = 0; i < width; ++i) {
+      const double x =
+          x_max_m * static_cast<double>(i) / static_cast<double>(width);
+      const double p = s.cdf.At(x);
+      const char* glyph = p < 0.125 ? " "
+                          : p < 0.375 ? "."
+                          : p < 0.625 ? ":"
+                          : p < 0.875 ? "+"
+                                      : "#";
+      os << glyph;
+    }
+    os << "|\n";
+  }
+}
+
+void PrintCdfSummary(std::ostream& os, const std::vector<NamedCdf>& series) {
+  std::vector<std::vector<std::string>> rows;
+  for (const NamedCdf& s : series) {
+    if (s.cdf.size() == 0) continue;
+    rows.push_back({s.label, Fmt(s.cdf.InverseAt(0.5), 3),
+                    Fmt(s.cdf.InverseAt(0.9), 3),
+                    std::to_string(s.cdf.size())});
+  }
+  PrintTable(os, {"series", "median (m)", "p90 (m)", "samples"}, rows);
+}
+
+void PrintTable(std::ostream& os, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(header);
+  std::vector<std::string> rule;
+  for (std::size_t w : widths) rule.push_back(std::string(w, '-'));
+  print_row(rule);
+  for (const auto& row : rows) print_row(row);
+}
+
+void PrintHeatmap(std::ostream& os, const dsp::Grid2D& grid,
+                  std::size_t max_cols) {
+  static const char* kGlyphs = " .:-=+*#%@";
+  const double max = grid.Max();
+  const std::size_t stride =
+      std::max<std::size_t>(1, grid.cols() / max_cols);
+  // Top row = largest y so the printout matches the room orientation.
+  for (std::size_t r = grid.rows(); r-- > 0;) {
+    if ((grid.rows() - 1 - r) % stride != 0) continue;
+    os << "  ";
+    for (std::size_t c = 0; c < grid.cols(); c += stride) {
+      const double v = max > 0 ? grid.At(c, r) / max : 0.0;
+      const auto idx = static_cast<std::size_t>(
+          std::min(9.0, std::max(0.0, v * 9.999)));
+      os << kGlyphs[idx];
+    }
+    os << "\n";
+  }
+}
+
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) return;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header);
+  for (const auto& row : rows) write_row(row);
+}
+
+}  // namespace bloc::eval

@@ -1,0 +1,43 @@
+// ASCII and CSV emitters for the benchmark harness: the bench binaries
+// print the same series the paper's figures plot.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dsp/grid2d.h"
+#include "dsp/stats.h"
+
+namespace bloc::eval {
+
+/// A named empirical CDF, for multi-series figures like Fig. 9.
+struct NamedCdf {
+  std::string label;
+  dsp::Cdf cdf;
+};
+
+/// Renders CDFs as an ASCII plot: error on the x axis (0..x_max), CDF rows
+/// at the percentiles 10..90 plus key markers.
+void PrintCdfPlot(std::ostream& os, const std::vector<NamedCdf>& series,
+                  double x_max_m = 6.0, std::size_t width = 64);
+
+/// Tabulates median / p90 per series.
+void PrintCdfSummary(std::ostream& os, const std::vector<NamedCdf>& series);
+
+/// Simple aligned table.
+void PrintTable(std::ostream& os, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a grid as an ASCII heatmap (higher value => denser glyph).
+void PrintHeatmap(std::ostream& os, const dsp::Grid2D& grid,
+                  std::size_t max_cols = 72);
+
+/// Writes rows to a CSV file; no-op when `path` is empty.
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with fixed precision.
+std::string Fmt(double v, int precision = 3);
+
+}  // namespace bloc::eval

@@ -1,0 +1,72 @@
+#include "geom/room.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::geom {
+
+std::vector<Segment> Obstacle::Faces() const {
+  const Vec2 p0 = min_corner;
+  const Vec2 p1{max_corner.x, min_corner.y};
+  const Vec2 p2 = max_corner;
+  const Vec2 p3{min_corner.x, max_corner.y};
+  return {{p0, p1}, {p1, p2}, {p2, p3}, {p3, p0}};
+}
+
+bool Obstacle::Contains(const Vec2& p) const {
+  return p.x >= min_corner.x && p.x <= max_corner.x && p.y >= min_corner.y &&
+         p.y <= max_corner.y;
+}
+
+Room::Room(double width, double height, double wall_reflectivity,
+           double wall_scattering)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Room: non-positive dimensions");
+  }
+  const Vec2 c0{0, 0}, c1{width, 0}, c2{width, height}, c3{0, height};
+  const auto wall = [&](Vec2 a, Vec2 b, const char* label) {
+    reflectors_.push_back(
+        {Segment{a, b}, wall_reflectivity, wall_scattering, label});
+  };
+  wall(c0, c1, "wall-south");
+  wall(c1, c2, "wall-east");
+  wall(c2, c3, "wall-north");
+  wall(c3, c0, "wall-west");
+}
+
+void Room::AddObstacle(const Obstacle& o) {
+  if (o.max_corner.x <= o.min_corner.x || o.max_corner.y <= o.min_corner.y) {
+    throw std::invalid_argument("AddObstacle: degenerate rectangle");
+  }
+  obstacles_.push_back(o);
+  for (const Segment& face : o.Faces()) {
+    reflectors_.push_back({face, o.reflectivity, o.scattering, o.label});
+  }
+}
+
+bool Room::Inside(const Vec2& p, double margin) const {
+  return p.x >= margin && p.x <= width_ - margin && p.y >= margin &&
+         p.y <= height_ - margin;
+}
+
+double Room::ThroughAmplitude(const Vec2& p, const Vec2& q) const {
+  double loss_db = 0.0;
+  for (const Obstacle& o : obstacles_) {
+    for (const Segment& face : o.Faces()) {
+      if (SegmentCrosses(p, q, face)) loss_db += o.through_loss_db;
+    }
+  }
+  return std::pow(10.0, -loss_db / 20.0);
+}
+
+bool Room::HasLineOfSight(const Vec2& p, const Vec2& q) const {
+  for (const Obstacle& o : obstacles_) {
+    for (const Segment& face : o.Faces()) {
+      if (SegmentCrosses(p, q, face)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bloc::geom

@@ -1,0 +1,73 @@
+// The physical environment: a rectangular room whose walls reflect, plus
+// rectangular obstacles (metal cupboards, robot racks ...) that both reflect
+// strongly and attenuate paths passing through them. This models the
+// "multipath-rich VICON room full of metallic objects" of the paper (§7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/vec2.h"
+
+namespace bloc::geom {
+
+/// A flat reflecting face with material properties.
+struct Reflector {
+  Segment face;
+  /// Fraction of incident amplitude reflected specularly (0..1).
+  double reflectivity = 0.6;
+  /// Fraction of incident amplitude re-radiated diffusely by surface
+  /// roughness; spread across scatter points near the specular point.
+  double scattering = 0.25;
+  std::string label;
+};
+
+/// An axis-aligned rectangular obstacle. Its four faces are reflectors; any
+/// path crossing its interior is attenuated by `through_loss_db` per face
+/// crossed (metal => large loss, effectively blocking).
+struct Obstacle {
+  Vec2 min_corner;
+  Vec2 max_corner;
+  double reflectivity = 0.8;
+  double scattering = 0.3;
+  double through_loss_db = 15.0;
+  std::string label;
+
+  std::vector<Segment> Faces() const;
+  bool Contains(const Vec2& p) const;
+};
+
+class Room {
+ public:
+  /// Builds a rectangular room [0,width] x [0,height] whose four walls are
+  /// reflectors with the given material parameters.
+  Room(double width, double height, double wall_reflectivity = 0.45,
+       double wall_scattering = 0.2);
+
+  void AddObstacle(const Obstacle& o);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  /// All reflecting faces: 4 walls plus every obstacle face.
+  const std::vector<Reflector>& reflectors() const { return reflectors_; }
+
+  bool Inside(const Vec2& p, double margin = 0.0) const;
+
+  /// Amplitude factor (<= 1) for the straight path p -> q due to obstacle
+  /// penetration: product of per-face through losses. 1.0 when unobstructed.
+  double ThroughAmplitude(const Vec2& p, const Vec2& q) const;
+
+  /// True if the straight path p -> q crosses no obstacle face.
+  bool HasLineOfSight(const Vec2& p, const Vec2& q) const;
+
+ private:
+  double width_;
+  double height_;
+  std::vector<Obstacle> obstacles_;
+  std::vector<Reflector> reflectors_;
+};
+
+}  // namespace bloc::geom

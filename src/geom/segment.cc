@@ -1,0 +1,52 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloc::geom {
+
+std::optional<Vec2> Intersect(const Segment& s1, const Segment& s2,
+                              double eps) {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.Cross(s);
+  if (std::abs(denom) < eps) return std::nullopt;  // parallel
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.Cross(s) / denom;
+  const double u = qp.Cross(r) / denom;
+  if (t <= eps || t >= 1.0 - eps || u <= eps || u >= 1.0 - eps) {
+    return std::nullopt;
+  }
+  return s1.a + r * t;
+}
+
+bool SegmentCrosses(const Vec2& p, const Vec2& q, const Segment& wall,
+                    double eps) {
+  return Intersect(Segment{p, q}, wall, eps).has_value();
+}
+
+Vec2 MirrorAcross(const Vec2& p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len_sq = d.NormSq();
+  if (len_sq <= 0) return p;
+  const double t = (p - s.a).Dot(d) / len_sq;
+  const Vec2 foot = s.a + d * t;
+  return foot * 2.0 - p;
+}
+
+Vec2 ClosestPointOn(const Segment& s, const Vec2& p) {
+  const Vec2 d = s.b - s.a;
+  const double len_sq = d.NormSq();
+  if (len_sq <= 0) return s.a;
+  const double t = std::clamp((p - s.a).Dot(d) / len_sq, 0.0, 1.0);
+  return s.a + d * t;
+}
+
+double ProjectParam(const Segment& s, const Vec2& p) {
+  const Vec2 d = s.b - s.a;
+  const double len_sq = d.NormSq();
+  if (len_sq <= 0) return 0.0;
+  return (p - s.a).Dot(d) / len_sq;
+}
+
+}  // namespace bloc::geom

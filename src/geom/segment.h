@@ -1,0 +1,45 @@
+// Line segments: intersection tests, point reflection (image method) and
+// projections. Walls, obstacle faces and rays are all segments.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace bloc::geom {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  Vec2 Direction() const { return (b - a).Normalized(); }
+  /// Unit normal (counter-clockwise perpendicular of the direction).
+  Vec2 Normal() const { return Direction().Perp(); }
+  double Length() const { return Distance(a, b); }
+  Vec2 Midpoint() const { return (a + b) * 0.5; }
+  /// Point at parameter t in [0, 1].
+  Vec2 PointAt(double t) const { return a + (b - a) * t; }
+};
+
+/// Proper intersection of two segments (shared interior point). Endpoints
+/// touching within `eps` do not count, so a ray grazing a wall corner is not
+/// blocked. Returns the intersection point if any.
+std::optional<Vec2> Intersect(const Segment& s1, const Segment& s2,
+                              double eps = 1e-9);
+
+/// True if the open segment (p, q) crosses `wall` (used for LOS blockage);
+/// endpoints that lie exactly on the wall do not block.
+bool SegmentCrosses(const Vec2& p, const Vec2& q, const Segment& wall,
+                    double eps = 1e-9);
+
+/// Mirror image of point `p` across the infinite line through `s`.
+Vec2 MirrorAcross(const Vec2& p, const Segment& s);
+
+/// Closest point on segment `s` to `p` (clamped to the segment).
+Vec2 ClosestPointOn(const Segment& s, const Vec2& p);
+
+/// Parameter t of the projection of `p` on the infinite line of `s`
+/// (t=0 at s.a, t=1 at s.b), unclamped.
+double ProjectParam(const Segment& s, const Vec2& p);
+
+}  // namespace bloc::geom

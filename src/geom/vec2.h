@@ -1,0 +1,46 @@
+// Minimal 2-D vector algebra for the room geometry and ray tracing.
+#pragma once
+
+#include <cmath>
+
+namespace bloc::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives turn direction.
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::hypot(x, y); }
+  constexpr double NormSq() const { return x * x + y * y; }
+
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{0, 0};
+  }
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+  /// Angle from +x axis, in radians.
+  double Angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+/// Rotates `v` by `radians` counter-clockwise.
+inline Vec2 Rotate(const Vec2& v, double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {c * v.x - s * v.y, s * v.x + c * v.y};
+}
+
+}  // namespace bloc::geom

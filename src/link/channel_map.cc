@@ -1,0 +1,90 @@
+#include "link/channel_map.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bloc::link {
+
+namespace {
+constexpr double kRf0FrequencyHz = 2.402e9;  // RF channel 0 (adv 37)
+}
+
+std::uint8_t DataToRfChannel(std::uint8_t data_channel) {
+  if (data_channel >= kNumDataChannels) {
+    throw std::invalid_argument("DataToRfChannel: index out of range");
+  }
+  // Data channels 0..10 sit at RF 1..11; 11..36 at RF 13..38 (RF 0, 12 and
+  // 39 are the advertising channels 37, 38, 39).
+  return data_channel <= 10 ? static_cast<std::uint8_t>(data_channel + 1)
+                            : static_cast<std::uint8_t>(data_channel + 2);
+}
+
+std::uint8_t AdvToRfChannel(std::uint8_t adv_channel) {
+  switch (adv_channel) {
+    case 37: return 0;
+    case 38: return 12;
+    case 39: return 39;
+    default:
+      throw std::invalid_argument("AdvToRfChannel: not an adv channel");
+  }
+}
+
+double RfChannelFrequencyHz(std::uint8_t rf_channel) {
+  if (rf_channel >= kNumChannels) {
+    throw std::invalid_argument("RfChannelFrequencyHz: index out of range");
+  }
+  return kRf0FrequencyHz + kChannelSpacingHz * rf_channel;
+}
+
+double DataChannelFrequencyHz(std::uint8_t data_channel) {
+  return RfChannelFrequencyHz(DataToRfChannel(data_channel));
+}
+
+ChannelMap::ChannelMap() { used_.set(); }
+
+void ChannelMap::Disable(std::uint8_t data_channel) {
+  if (data_channel >= kNumDataChannels) {
+    throw std::invalid_argument("ChannelMap::Disable: out of range");
+  }
+  used_.reset(data_channel);
+}
+
+void ChannelMap::Enable(std::uint8_t data_channel) {
+  if (data_channel >= kNumDataChannels) {
+    throw std::invalid_argument("ChannelMap::Enable: out of range");
+  }
+  used_.set(data_channel);
+}
+
+bool ChannelMap::IsUsed(std::uint8_t data_channel) const {
+  return data_channel < kNumDataChannels && used_.test(data_channel);
+}
+
+std::size_t ChannelMap::UsedCount() const { return used_.count(); }
+
+std::vector<std::uint8_t> ChannelMap::UsedChannels() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(used_.count());
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) {
+    if (used_.test(c)) out.push_back(c);
+  }
+  return out;
+}
+
+ChannelMap ChannelMap::Subsampled(std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("Subsampled: factor 0");
+  ChannelMap map;
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) {
+    if (c % factor != 0) map.Disable(c);
+  }
+  return map;
+}
+
+void ChannelMap::BlacklistWifiOverlap(double wifi_center_hz) {
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) {
+    const double f = DataChannelFrequencyHz(c);
+    if (std::abs(f - wifi_center_hz) < 10.0e6) Disable(c);
+  }
+}
+
+}  // namespace bloc::link

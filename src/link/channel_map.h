@@ -1,0 +1,56 @@
+// BLE channel plan: 40 RF channels of 2 MHz over 2.402-2.480 GHz; data
+// channels 0..36 and advertising channels 37/38/39 (paper Fig. 1), plus the
+// adaptive channel map (blacklisting) used for Wi-Fi coexistence (§8.6).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+namespace bloc::link {
+
+inline constexpr std::size_t kNumDataChannels = 37;
+inline constexpr std::size_t kNumAdvChannels = 3;
+inline constexpr std::size_t kNumChannels = 40;
+inline constexpr double kChannelSpacingHz = 2.0e6;
+
+/// Centre frequency in Hz of a *data* channel index (0..36).
+double DataChannelFrequencyHz(std::uint8_t data_channel);
+
+/// Centre frequency in Hz of an RF channel index (0..39, spec numbering
+/// where 2402 MHz is RF channel 0).
+double RfChannelFrequencyHz(std::uint8_t rf_channel);
+
+/// Maps a data channel index (0..36) to its RF channel index (0..39);
+/// advertising channels 37/38/39 sit at RF 0, 12 and 39.
+std::uint8_t DataToRfChannel(std::uint8_t data_channel);
+std::uint8_t AdvToRfChannel(std::uint8_t adv_channel);  // 37..39
+
+/// The set of usable data channels for a connection. BLE requires at least
+/// two used channels; blacklisted (e.g. Wi-Fi-overlapped) channels are
+/// remapped onto used ones, which we model by simply skipping them.
+class ChannelMap {
+ public:
+  /// All 37 data channels enabled.
+  ChannelMap();
+
+  void Disable(std::uint8_t data_channel);
+  void Enable(std::uint8_t data_channel);
+  bool IsUsed(std::uint8_t data_channel) const;
+  std::size_t UsedCount() const;
+  std::vector<std::uint8_t> UsedChannels() const;
+
+  /// Keeps only every `factor`-th data channel (the §8.6 subsampling
+  /// experiment: same 80 MHz span, fewer channels).
+  static ChannelMap Subsampled(std::size_t factor);
+
+  /// Disables the data channels overlapping a 20 MHz-wide Wi-Fi channel
+  /// centred at `wifi_center_hz`.
+  void BlacklistWifiOverlap(double wifi_center_hz);
+
+ private:
+  std::bitset<kNumDataChannels> used_;
+};
+
+}  // namespace bloc::link

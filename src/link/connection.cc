@@ -1,0 +1,55 @@
+#include "link/connection.h"
+
+#include <stdexcept>
+
+namespace bloc::link {
+
+std::vector<std::uint8_t> Connection::StartAdvertising() {
+  if (state_ == LinkState::kConnected) {
+    throw std::logic_error("StartAdvertising: already connected");
+  }
+  state_ = LinkState::kAdvertising;
+  return {AdvToRfChannel(37), AdvToRfChannel(38), AdvToRfChannel(39)};
+}
+
+void Connection::Connect(const ConnectionParams& params, double time_s) {
+  if (params.channel_map.UsedCount() < 2) {
+    throw std::invalid_argument("Connect: channel map has < 2 used channels");
+  }
+  params_ = params;
+  // First data channel is derived from the hop sequence starting at 0.
+  hops_.emplace(params.hop_increment, 0, params.channel_map);
+  state_ = LinkState::kConnected;
+  event_counter_ = 0;
+  time_s_ = time_s;
+}
+
+ConnectionEvent Connection::NextEvent() {
+  if (state_ != LinkState::kConnected || !hops_) {
+    throw std::logic_error("NextEvent: not connected");
+  }
+  ConnectionEvent ev;
+  ev.event_counter = event_counter_++;
+  ev.data_channel = hops_->Next();
+  ev.start_time_s = time_s_;
+  time_s_ += params_.conn_interval_s;
+  return ev;
+}
+
+std::vector<ConnectionEvent> Connection::LocalizationRound() {
+  std::vector<ConnectionEvent> events;
+  std::vector<bool> seen(kNumDataChannels, false);
+  const std::size_t target = params_.channel_map.UsedCount();
+  std::size_t distinct = 0;
+  while (distinct < target) {
+    ConnectionEvent ev = NextEvent();
+    if (!seen[ev.data_channel]) {
+      seen[ev.data_channel] = true;
+      ++distinct;
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+}  // namespace bloc::link

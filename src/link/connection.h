@@ -1,0 +1,71 @@
+// A minimal BLE link-layer connection model: advertising, connection
+// establishment (CONNECT_IND parameters) and the sequence of connection
+// events, each on a hopped data channel with one master->slave and one
+// slave->master packet — the two-way exchange BLoc's phase-offset
+// cancellation requires (paper Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "link/channel_map.h"
+#include "link/hopping.h"
+
+namespace bloc::link {
+
+struct ConnectionParams {
+  std::uint32_t access_address = 0x50C0FFEEu;
+  std::uint32_t crc_init = 0x123456u;
+  std::uint8_t hop_increment = 7;     // 5..16
+  double conn_interval_s = 0.025;     // 40 connection events per second
+  ChannelMap channel_map;
+};
+
+struct ConnectionEvent {
+  std::uint16_t event_counter = 0;
+  std::uint8_t data_channel = 0;
+  double start_time_s = 0.0;
+};
+
+enum class LinkState : std::uint8_t {
+  kStandby,
+  kAdvertising,
+  kConnected,
+};
+
+/// Drives one tag<->master connection through advertising and connection
+/// events. Deliberately small: no supervision timeouts, no parameter
+/// updates; exactly the machinery BLoc's measurement rounds need.
+class Connection {
+ public:
+  Connection() = default;
+
+  /// Tag starts advertising; returns the advertising RF channels used.
+  std::vector<std::uint8_t> StartAdvertising();
+
+  /// Master received an advertisement and issues CONNECT_IND with `params`.
+  /// Moves the link to kConnected; event 0 starts at `time_s`.
+  void Connect(const ConnectionParams& params, double time_s = 0.0);
+
+  /// Next connection event (hops the channel, advances time/counter).
+  /// Throws if not connected.
+  ConnectionEvent NextEvent();
+
+  /// A "localization round": consecutive events until every used data
+  /// channel has been visited once (37 events on a full map).
+  std::vector<ConnectionEvent> LocalizationRound();
+
+  LinkState state() const { return state_; }
+  const ConnectionParams& params() const { return params_; }
+  std::uint16_t event_counter() const { return event_counter_; }
+
+ private:
+  LinkState state_ = LinkState::kStandby;
+  ConnectionParams params_;
+  std::optional<HopSequence> hops_;
+  std::uint16_t event_counter_ = 0;
+  double time_s_ = 0.0;
+};
+
+}  // namespace bloc::link

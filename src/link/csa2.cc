@@ -1,0 +1,82 @@
+#include "link/csa2.h"
+
+#include <stdexcept>
+
+namespace bloc::link {
+
+namespace {
+
+// Spec 4.5.8.3.3 helper permutation/MAM pipeline operating on 16-bit values.
+std::uint16_t Perm(std::uint16_t v) {
+  // Reverse the bits within each byte.
+  std::uint16_t out = 0;
+  for (int byte = 0; byte < 2; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (v & (1u << (byte * 8 + bit))) {
+        out = static_cast<std::uint16_t>(out | (1u << (byte * 8 + 7 - bit)));
+      }
+    }
+  }
+  return out;
+}
+
+std::uint16_t Mam(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>((17u * a + b) & 0xFFFFu);
+}
+
+std::uint16_t Prn(std::uint16_t counter, std::uint16_t channel_id) {
+  std::uint16_t v = static_cast<std::uint16_t>(counter ^ channel_id);
+  v = Mam(Perm(v), channel_id);
+  v = Mam(Perm(v), channel_id);
+  v = Mam(Perm(v), channel_id);
+  return static_cast<std::uint16_t>(v ^ channel_id);  // prn_e
+}
+
+}  // namespace
+
+std::uint8_t Csa2Channel(std::uint32_t access_address,
+                         std::uint16_t event_counter, const ChannelMap& map) {
+  const std::size_t used = map.UsedCount();
+  if (used == 0) throw std::invalid_argument("Csa2Channel: empty channel map");
+
+  const auto channel_id = static_cast<std::uint16_t>(
+      ((access_address >> 16) ^ (access_address & 0xFFFFu)) & 0xFFFFu);
+  const std::uint16_t prn_e = Prn(event_counter, channel_id);
+
+  const auto unmapped = static_cast<std::uint8_t>(prn_e % 37);
+  if (map.IsUsed(unmapped)) return unmapped;
+
+  // Remap onto the used channels (spec: index = floor(N * prn_e / 2^16)).
+  const std::vector<std::uint8_t> used_channels = map.UsedChannels();
+  const auto index = static_cast<std::size_t>(
+      (static_cast<std::uint32_t>(used) * prn_e) >> 16);
+  return used_channels[index];
+}
+
+Csa2Sequence::Csa2Sequence(std::uint32_t access_address,
+                           const ChannelMap& map)
+    : access_address_(access_address), map_(map) {
+  if (map_.UsedCount() == 0) {
+    throw std::invalid_argument("Csa2Sequence: empty channel map");
+  }
+}
+
+std::uint8_t Csa2Sequence::Next() {
+  return Csa2Channel(access_address_, event_counter_++, map_);
+}
+
+std::vector<std::uint8_t> Csa2Sequence::FullSweep(std::size_t max_events) {
+  std::vector<std::uint8_t> order;
+  std::vector<bool> seen(kNumDataChannels, false);
+  const std::size_t target = map_.UsedCount();
+  for (std::size_t i = 0; i < max_events && order.size() < target; ++i) {
+    const std::uint8_t c = Next();
+    if (!seen[c]) {
+      seen[c] = true;
+      order.push_back(c);
+    }
+  }
+  return order;
+}
+
+}  // namespace bloc::link

@@ -1,0 +1,46 @@
+#include "link/hopping.h"
+
+#include <stdexcept>
+
+namespace bloc::link {
+
+HopSequence::HopSequence(std::uint8_t hop_increment, std::uint8_t start,
+                         const ChannelMap& map)
+    : hop_(hop_increment), current_(start), map_(map) {
+  if (hop_increment < 5 || hop_increment > 16) {
+    throw std::invalid_argument("HopSequence: hop increment must be in 5..16");
+  }
+  if (start >= kNumDataChannels) {
+    throw std::invalid_argument("HopSequence: start channel out of range");
+  }
+  if (map_.UsedCount() < 2) {
+    throw std::invalid_argument("HopSequence: fewer than 2 used channels");
+  }
+}
+
+std::uint8_t HopSequence::Next() {
+  // 37 is prime, so repeatedly adding the hop visits every unmapped channel;
+  // skipping unused ones therefore terminates within 37 steps.
+  for (int i = 0; i < static_cast<int>(kNumDataChannels); ++i) {
+    current_ = static_cast<std::uint8_t>((current_ + hop_) %
+                                         kNumDataChannels);
+    if (map_.IsUsed(current_)) return current_;
+  }
+  throw std::logic_error("HopSequence::Next: no used channel found");
+}
+
+std::vector<std::uint8_t> HopSequence::FullSweep() {
+  std::vector<std::uint8_t> order;
+  std::vector<bool> seen(kNumDataChannels, false);
+  const std::size_t target = map_.UsedCount();
+  while (order.size() < target) {
+    const std::uint8_t c = Next();
+    if (!seen[c]) {
+      seen[c] = true;
+      order.push_back(c);
+    }
+  }
+  return order;
+}
+
+}  // namespace bloc::link

@@ -1,0 +1,39 @@
+// BLE channel-hopping (Channel Selection Algorithm #1):
+// unmapped = (last + hop) mod 37. Because 37 is prime, any hop increment in
+// [5, 16] walks through all data channels before repeating — the property
+// BLoc exploits to collect CSI on every band (paper §2.1, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "link/channel_map.h"
+
+namespace bloc::link {
+
+class HopSequence {
+ public:
+  /// `hop_increment` must be in [5, 16] (Core Spec); `start` in [0, 36].
+  HopSequence(std::uint8_t hop_increment, std::uint8_t start,
+              const ChannelMap& map);
+
+  /// Advances to (and returns) the next *used* data channel. Unused
+  /// channels are skipped (remapping modelled as skipping, see ChannelMap).
+  std::uint8_t Next();
+
+  /// Current unmapped channel (may be unused if the map excludes it).
+  std::uint8_t current_unmapped() const { return current_; }
+
+  /// One full localization sweep: hops until every used channel has been
+  /// visited once, returning them in visit order.
+  std::vector<std::uint8_t> FullSweep();
+
+  std::uint8_t hop_increment() const { return hop_; }
+
+ private:
+  std::uint8_t hop_;
+  std::uint8_t current_;
+  ChannelMap map_;
+};
+
+}  // namespace bloc::link

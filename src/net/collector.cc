@@ -1,0 +1,68 @@
+#include "net/collector.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bloc::net {
+
+void Collector::OnMessage(const Message& msg) {
+  std::unique_lock lock(mutex_);
+  if (const auto* hello = std::get_if<AnchorHelloMsg>(&msg)) {
+    anchors_[hello->anchor_id] = AnchorInfo{*hello};
+    cv_.notify_all();
+    return;
+  }
+  if (const auto* report_msg = std::get_if<CsiReportMsg>(&msg)) {
+    auto& round = rounds_[report_msg->report.round_id];
+    const auto dup = std::find_if(
+        round.begin(), round.end(), [&](const anchor::CsiReport& r) {
+          return r.anchor_id == report_msg->report.anchor_id;
+        });
+    if (dup != round.end()) {
+      ++dropped_duplicates_;
+      return;
+    }
+    round.push_back(report_msg->report);
+    cv_.notify_all();
+    return;
+  }
+  // LocationEstimateMsg flows server -> clients; ignore on ingest.
+}
+
+std::vector<AnchorHelloMsg> Collector::Anchors() const {
+  std::lock_guard lock(mutex_);
+  std::vector<AnchorHelloMsg> out;
+  out.reserve(anchors_.size());
+  for (const auto& [id, info] : anchors_) out.push_back(info.hello);
+  return out;
+}
+
+bool Collector::RoundComplete(std::uint64_t round_id) const {
+  const auto it = rounds_.find(round_id);
+  return it != rounds_.end() && !anchors_.empty() &&
+         it->second.size() >= anchors_.size();
+}
+
+std::optional<MeasurementRound> Collector::WaitRound(std::uint64_t round_id,
+                                                     int timeout_ms) {
+  std::unique_lock lock(mutex_);
+  const bool ok = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [&] { return RoundComplete(round_id); });
+  if (!ok) return std::nullopt;
+  MeasurementRound round;
+  round.round_id = round_id;
+  round.reports = rounds_[round_id];
+  return round;
+}
+
+std::optional<MeasurementRound> Collector::TryGetRound(
+    std::uint64_t round_id) const {
+  std::lock_guard lock(mutex_);
+  if (!RoundComplete(round_id)) return std::nullopt;
+  MeasurementRound round;
+  round.round_id = round_id;
+  round.reports = rounds_.at(round_id);
+  return round;
+}
+
+}  // namespace bloc::net

@@ -1,0 +1,54 @@
+// The central server's ingest stage: registers anchors, groups CsiReports
+// into measurement rounds, and hands complete rounds (one report per
+// registered anchor) to the localizer (paper §3: "all the anchor points
+// communicate to a central server to estimate the location of the tag").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace bloc::net {
+
+struct AnchorInfo {
+  AnchorHelloMsg hello;
+};
+
+struct MeasurementRound {
+  std::uint64_t round_id = 0;
+  std::vector<anchor::CsiReport> reports;  // one per anchor, any order
+};
+
+class Collector : public MessageSink {
+ public:
+  void OnMessage(const Message& msg) override;
+
+  /// Registered anchors (by id), snapshot.
+  std::vector<AnchorHelloMsg> Anchors() const;
+
+  /// Blocks until round `round_id` has a report from every registered
+  /// anchor, up to `timeout_ms`; returns the round or nullopt on timeout.
+  std::optional<MeasurementRound> WaitRound(std::uint64_t round_id,
+                                            int timeout_ms = 5000);
+
+  /// Non-blocking: a complete round if available.
+  std::optional<MeasurementRound> TryGetRound(std::uint64_t round_id) const;
+
+  std::size_t dropped_duplicates() const { return dropped_duplicates_; }
+
+ private:
+  bool RoundComplete(std::uint64_t round_id) const;  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, AnchorInfo> anchors_;
+  std::map<std::uint64_t, std::vector<anchor::CsiReport>> rounds_;
+  std::size_t dropped_duplicates_ = 0;
+};
+
+}  // namespace bloc::net

@@ -1,0 +1,59 @@
+#include "phy/bits.h"
+
+#include <stdexcept>
+
+namespace bloc::phy {
+
+Bits BytesToBits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int i = 0; i < 8; ++i) bits.push_back((byte >> i) & 1u);
+  }
+  return bits;
+}
+
+Bytes BitsToBytes(std::span<const std::uint8_t> bits) {
+  if (bits.size() % 8 != 0) {
+    throw std::invalid_argument("BitsToBytes: bit count not a multiple of 8");
+  }
+  Bytes bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+Bits IntToBits(std::uint64_t value, std::size_t count) {
+  Bits bits(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i] = static_cast<std::uint8_t>((value >> i) & 1u);
+  }
+  return bits;
+}
+
+std::size_t LongestRun(std::span<const std::uint8_t> bits) {
+  std::size_t best = 0, cur = 0;
+  std::uint8_t prev = 2;
+  for (std::uint8_t b : bits) {
+    cur = (b == prev) ? cur + 1 : 1;
+    prev = b;
+    if (cur > best) best = cur;
+  }
+  return best;
+}
+
+double BitErrorRate(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("BitErrorRate: length mismatch");
+  }
+  if (a.empty()) return 0.0;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & 1u) != (b[i] & 1u)) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(a.size());
+}
+
+}  // namespace bloc::phy

@@ -1,0 +1,31 @@
+// Bit-vector helpers. BLE transmits bytes LSB-first on air.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bloc::phy {
+
+using Bits = std::vector<std::uint8_t>;  // one bit (0/1) per element
+using Bytes = std::vector<std::uint8_t>;
+
+/// Expands bytes to bits, least-significant bit of each byte first.
+Bits BytesToBits(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (LSB-first per byte) back into bytes; the bit count must be a
+/// multiple of 8.
+Bytes BitsToBytes(std::span<const std::uint8_t> bits);
+
+/// Bits of a multi-byte integer, LSB first, `count` bits.
+Bits IntToBits(std::uint64_t value, std::size_t count);
+
+/// Longest run of equal consecutive bits; 0 for empty input.
+std::size_t LongestRun(std::span<const std::uint8_t> bits);
+
+/// Fraction of positions where the two bit strings differ (they must have
+/// equal length); used by PHY loopback tests.
+double BitErrorRate(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b);
+
+}  // namespace bloc::phy

@@ -1,0 +1,34 @@
+// BLE PHY constants (Bluetooth Core Spec v4.x, LE 1M uncoded PHY).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bloc::phy {
+
+/// LE 1M PHY: 1 Msym/s, 1 bit per symbol.
+inline constexpr double kSymbolRateHz = 1.0e6;
+/// Baseband oversampling used by the waveform simulator.
+inline constexpr int kSamplesPerSymbol = 8;
+inline constexpr double kSampleRateHz = kSymbolRateHz * kSamplesPerSymbol;
+/// GFSK frequency deviation: modulation index 0.5 => +/- 250 kHz.
+inline constexpr double kFrequencyDeviationHz = 250.0e3;
+/// Gaussian pulse-shaping bandwidth-time product.
+inline constexpr double kGaussianBt = 0.5;
+/// Pulse-shaping filter span in symbols.
+inline constexpr int kGaussianSpanSymbols = 3;
+
+/// Advertising-channel access address (Core Spec 2.1.2).
+inline constexpr std::uint32_t kAdvertisingAccessAddress = 0x8E89BED6u;
+/// CRC-24 polynomial x^24+x^10+x^9+x^6+x^4+x^3+x+1 (bits below x^24).
+inline constexpr std::uint32_t kCrc24Poly = 0x00065Bu;
+/// CRC init value on advertising channels.
+inline constexpr std::uint32_t kAdvertisingCrcInit = 0x555555u;
+
+/// Preamble is 8 bits of alternating 0/1; the first bit equals the LSB of
+/// the access address (Core Spec 2.1.1).
+inline constexpr std::size_t kPreambleBits = 8;
+inline constexpr std::size_t kAccessAddressBits = 32;
+inline constexpr std::size_t kCrcBits = 24;
+
+}  // namespace bloc::phy

@@ -1,0 +1,39 @@
+#include "phy/crc24.h"
+
+#include "phy/constants.h"
+
+namespace bloc::phy {
+
+std::uint32_t Crc24(std::span<const std::uint8_t> pdu_bits,
+                    std::uint32_t init) {
+  std::uint32_t lfsr = init & 0xFFFFFFu;
+  for (std::uint8_t bit : pdu_bits) {
+    const std::uint32_t fb = ((lfsr >> 23) ^ (bit & 1u)) & 1u;
+    lfsr = (lfsr << 1) & 0xFFFFFFu;
+    if (fb) lfsr ^= kCrc24Poly;
+  }
+  return lfsr;
+}
+
+Bits Crc24Bits(std::span<const std::uint8_t> pdu_bits, std::uint32_t init) {
+  const std::uint32_t crc = Crc24(pdu_bits, init);
+  // Transmitted MSB of the register first (Core Spec: the CRC is sent with
+  // the most significant bit of the 24-bit register first).
+  Bits bits(24, 0);
+  for (std::size_t i = 0; i < 24; ++i) {
+    bits[i] = static_cast<std::uint8_t>((crc >> (23 - i)) & 1u);
+  }
+  return bits;
+}
+
+bool Crc24Check(std::span<const std::uint8_t> pdu_bits,
+                std::span<const std::uint8_t> crc_bits, std::uint32_t init) {
+  if (crc_bits.size() != 24) return false;
+  const Bits expected = Crc24Bits(pdu_bits, init);
+  for (std::size_t i = 0; i < 24; ++i) {
+    if ((expected[i] & 1u) != (crc_bits[i] & 1u)) return false;
+  }
+  return true;
+}
+
+}  // namespace bloc::phy

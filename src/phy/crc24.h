@@ -1,0 +1,24 @@
+// BLE link-layer CRC-24 (Core Spec 3.1.1), computed bit-serially over the
+// PDU in air order (LSB-first).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "phy/bits.h"
+
+namespace bloc::phy {
+
+/// CRC over PDU bits with the given 24-bit init value (0x555555 on
+/// advertising channels; connection-specific otherwise).
+std::uint32_t Crc24(std::span<const std::uint8_t> pdu_bits,
+                    std::uint32_t init);
+
+/// CRC bits for transmission, LSB of the shift register first.
+Bits Crc24Bits(std::span<const std::uint8_t> pdu_bits, std::uint32_t init);
+
+/// True if `pdu_bits` followed by `crc_bits` verifies.
+bool Crc24Check(std::span<const std::uint8_t> pdu_bits,
+                std::span<const std::uint8_t> crc_bits, std::uint32_t init);
+
+}  // namespace bloc::phy

@@ -1,0 +1,90 @@
+#include "phy/csi_extract.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::phy {
+
+using dsp::cplx;
+
+CsiExtractor::CsiExtractor(const GfskConfig& config)
+    : config_(config), modulator_(config) {}
+
+PlateauIndices CsiExtractor::FindPlateaus(
+    std::span<const std::uint8_t> air_bits, double tolerance,
+    std::size_t guard) const {
+  const dsp::RVec freq = modulator_.FrequencyTrajectory(air_bits);
+  const double dev = config_.deviation_hz;
+  const double tol = tolerance * dev;
+
+  PlateauIndices out;
+  // Collect runs of samples sitting on a plateau, trimming `guard` samples
+  // from both ends of each run.
+  auto flush_run = [&](std::size_t begin, std::size_t end, int sign) {
+    if (end - begin <= 2 * guard) return;
+    for (std::size_t n = begin + guard; n < end - guard; ++n) {
+      (sign > 0 ? out.f1 : out.f0).push_back(n);
+    }
+  };
+  std::size_t run_start = 0;
+  int run_sign = 0;  // +1, -1 on plateau; 0 in transition
+  for (std::size_t n = 0; n <= freq.size(); ++n) {
+    int sign = 0;
+    if (n < freq.size()) {
+      if (std::abs(freq[n] - dev) < tol) sign = 1;
+      else if (std::abs(freq[n] + dev) < tol) sign = -1;
+    }
+    if (sign != run_sign) {
+      if (run_sign != 0) flush_run(run_start, n, run_sign);
+      run_start = n;
+      run_sign = sign;
+    }
+  }
+  return out;
+}
+
+CsiEstimate CsiExtractor::Estimate(std::span<const cplx> tx_iq,
+                                   std::span<const cplx> rx_iq,
+                                   const PlateauIndices& plateaus) const {
+  if (tx_iq.size() != rx_iq.size()) {
+    throw std::invalid_argument("CsiExtractor::Estimate: length mismatch");
+  }
+  auto ls_ratio = [&](const std::vector<std::size_t>& idx) -> cplx {
+    cplx num{0, 0};
+    double den = 0.0;
+    for (std::size_t n : idx) {
+      if (n >= tx_iq.size()) continue;
+      num += rx_iq[n] * std::conj(tx_iq[n]);
+      den += std::norm(tx_iq[n]);
+    }
+    return den > 0 ? num / den : cplx{0, 0};
+  };
+
+  CsiEstimate est;
+  est.h0 = ls_ratio(plateaus.f0);
+  est.h1 = ls_ratio(plateaus.f1);
+  est.n0 = plateaus.f0.size();
+  est.n1 = plateaus.f1.size();
+  est.valid = est.n0 > 0 && est.n1 > 0;
+  if (est.valid) {
+    const cplx hs[2] = {est.h0, est.h1};
+    est.merged = dsp::MergeAmpPhase(hs);
+  } else if (est.n0 > 0) {
+    est.merged = est.h0;
+  } else if (est.n1 > 0) {
+    est.merged = est.h1;
+  }
+  return est;
+}
+
+CsiEstimate CsiExtractor::EstimateFromBits(
+    std::span<const std::uint8_t> air_bits,
+    std::span<const cplx> rx_iq) const {
+  const dsp::CVec tx = modulator_.Modulate(air_bits);
+  const PlateauIndices plateaus = FindPlateaus(air_bits);
+  return Estimate(tx, rx_iq, plateaus);
+}
+
+}  // namespace bloc::phy

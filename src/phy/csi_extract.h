@@ -1,0 +1,63 @@
+// CSI measurement from GFSK waveforms (the paper's Section 4).
+//
+// The receiver knows the localization packet's bit content, so it knows
+// exactly which samples sit on the f0 / f1 frequency plateaus. The channel
+// at each plateau frequency is the least-squares ratio of received to
+// transmitted samples; the two values are merged into a single channel at
+// the band centre by averaging amplitude and phase separately (Section 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+#include "phy/gfsk.h"
+
+namespace bloc::phy {
+
+struct CsiEstimate {
+  dsp::cplx h0{0, 0};       // channel at f_center - deviation (bit 0)
+  dsp::cplx h1{0, 0};       // channel at f_center + deviation (bit 1)
+  dsp::cplx merged{0, 0};   // per-band channel at the centre frequency
+  std::size_t n0 = 0;       // plateau samples used for h0
+  std::size_t n1 = 0;
+  bool valid = false;       // false when either plateau was missing
+};
+
+struct PlateauIndices {
+  std::vector<std::size_t> f0;
+  std::vector<std::size_t> f1;
+};
+
+class CsiExtractor {
+ public:
+  explicit CsiExtractor(const GfskConfig& config = {});
+
+  /// Plateau sample indices derived from the known transmitted bits:
+  /// samples whose reference instantaneous frequency is within
+  /// `tolerance` * deviation of +/- deviation, trimmed by `guard` samples at
+  /// run edges so filter transients are excluded.
+  PlateauIndices FindPlateaus(std::span<const std::uint8_t> air_bits,
+                              double tolerance = 0.02,
+                              std::size_t guard = 2) const;
+
+  /// Least-squares channel estimate over the given plateau samples:
+  /// h = sum(y x*) / sum(|x|^2).
+  CsiEstimate Estimate(std::span<const dsp::cplx> tx_iq,
+                       std::span<const dsp::cplx> rx_iq,
+                       const PlateauIndices& plateaus) const;
+
+  /// Convenience: regenerates the reference waveform from `air_bits` and
+  /// estimates CSI against it.
+  CsiEstimate EstimateFromBits(std::span<const std::uint8_t> air_bits,
+                               std::span<const dsp::cplx> rx_iq) const;
+
+  const GfskModulator& modulator() const { return modulator_; }
+
+ private:
+  GfskConfig config_;
+  GfskModulator modulator_;
+};
+
+}  // namespace bloc::phy

@@ -1,0 +1,86 @@
+#include "phy/gfsk.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::phy {
+
+using dsp::cplx;
+
+GfskModulator::GfskModulator(const GfskConfig& config) : config_(config) {
+  taps_ = dsp::GaussianTaps(config_.bt, config_.samples_per_symbol,
+                            config_.span_symbols);
+}
+
+dsp::RVec GfskModulator::FilteredSymbols(
+    std::span<const std::uint8_t> bits) const {
+  const auto sps = static_cast<std::size_t>(config_.samples_per_symbol);
+  dsp::RVec nrz(bits.size() * sps);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double v = (bits[i] & 1u) ? 1.0 : -1.0;
+    for (std::size_t s = 0; s < sps; ++s) nrz[i * sps + s] = v;
+  }
+  return dsp::ConvolveSame(nrz, taps_);
+}
+
+dsp::RVec GfskModulator::FrequencyTrajectory(
+    std::span<const std::uint8_t> bits) const {
+  dsp::RVec freq = FilteredSymbols(bits);
+  for (double& f : freq) f *= config_.deviation_hz;
+  return freq;
+}
+
+dsp::CVec GfskModulator::Modulate(std::span<const std::uint8_t> bits,
+                                  double initial_phase) const {
+  const dsp::RVec freq = FrequencyTrajectory(bits);
+  dsp::CVec iq(freq.size());
+  double phase = initial_phase;
+  const double dt = 1.0 / sample_rate_hz();
+  for (std::size_t n = 0; n < freq.size(); ++n) {
+    phase += dsp::kTwoPi * freq[n] * dt;
+    iq[n] = dsp::Rotor(phase);
+  }
+  return iq;
+}
+
+GfskDemodulator::GfskDemodulator(const GfskConfig& config) : config_(config) {}
+
+dsp::RVec GfskDemodulator::InstantaneousFrequency(
+    std::span<const cplx> iq) const {
+  dsp::RVec freq(iq.size(), 0.0);
+  const double fs = kSymbolRateHz * config_.samples_per_symbol;
+  for (std::size_t n = 1; n < iq.size(); ++n) {
+    const cplx d = iq[n] * std::conj(iq[n - 1]);
+    freq[n] = std::arg(d) * fs / dsp::kTwoPi;
+  }
+  if (freq.size() > 1) freq[0] = freq[1];
+  return freq;
+}
+
+Bits GfskDemodulator::Demodulate(std::span<const cplx> iq,
+                                 std::size_t bit_count) const {
+  const auto sps = static_cast<std::size_t>(config_.samples_per_symbol);
+  if (iq.size() < bit_count * sps) {
+    throw std::invalid_argument("Demodulate: IQ shorter than bit_count");
+  }
+  dsp::RVec freq = InstantaneousFrequency(iq);
+  // Light moving-average smoothing over half a symbol to suppress noise.
+  const std::size_t w = std::max<std::size_t>(1, sps / 2);
+  dsp::RVec smooth(freq.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t n = 0; n < freq.size(); ++n) {
+    acc += freq[n];
+    if (n >= w) acc -= freq[n - w];
+    smooth[n] = acc / static_cast<double>(std::min(n + 1, w));
+  }
+  Bits bits(bit_count, 0);
+  for (std::size_t k = 0; k < bit_count; ++k) {
+    const std::size_t mid = k * sps + sps / 2;
+    bits[k] = smooth[mid] >= 0.0 ? 1 : 0;
+  }
+  return bits;
+}
+
+}  // namespace bloc::phy

@@ -1,0 +1,66 @@
+// GFSK modulation and demodulation for the LE 1M PHY.
+//
+// The modulator reproduces the paper's Fig. 4 behaviour: the Gaussian filter
+// smooths bit transitions so the instantaneous frequency is continuously
+// varying, and only long same-bit runs settle onto the +/- deviation
+// plateaus that allow channel measurement.
+#pragma once
+
+#include <span>
+
+#include "dsp/fir.h"
+#include "dsp/types.h"
+#include "phy/bits.h"
+#include "phy/constants.h"
+
+namespace bloc::phy {
+
+struct GfskConfig {
+  double bt = kGaussianBt;
+  int samples_per_symbol = kSamplesPerSymbol;
+  double deviation_hz = kFrequencyDeviationHz;
+  int span_symbols = kGaussianSpanSymbols;
+};
+
+class GfskModulator {
+ public:
+  explicit GfskModulator(const GfskConfig& config = {});
+
+  /// The Gaussian-filtered NRZ waveform in [-1, 1] (the "filtered bits" of
+  /// Fig. 4), one value per output sample.
+  dsp::RVec FilteredSymbols(std::span<const std::uint8_t> bits) const;
+
+  /// Instantaneous frequency trajectory in Hz (deviation * filtered bits).
+  dsp::RVec FrequencyTrajectory(std::span<const std::uint8_t> bits) const;
+
+  /// Complex-baseband IQ: unit-magnitude, phase = integral of frequency.
+  dsp::CVec Modulate(std::span<const std::uint8_t> bits,
+                     double initial_phase = 0.0) const;
+
+  const GfskConfig& config() const { return config_; }
+  double sample_rate_hz() const {
+    return kSymbolRateHz * config_.samples_per_symbol;
+  }
+
+ private:
+  GfskConfig config_;
+  dsp::RVec taps_;
+};
+
+class GfskDemodulator {
+ public:
+  explicit GfskDemodulator(const GfskConfig& config = {});
+
+  /// Quadrature-discriminator instantaneous frequency, in Hz, one value per
+  /// sample (first sample repeats the second).
+  dsp::RVec InstantaneousFrequency(std::span<const dsp::cplx> iq) const;
+
+  /// Hard bit decisions by sampling the (lightly smoothed) discriminator
+  /// output at mid-symbol.
+  Bits Demodulate(std::span<const dsp::cplx> iq, std::size_t bit_count) const;
+
+ private:
+  GfskConfig config_;
+};
+
+}  // namespace bloc::phy

@@ -1,0 +1,118 @@
+#include "phy/packet.h"
+
+#include <stdexcept>
+
+#include "phy/crc24.h"
+#include "phy/whitening.h"
+
+namespace bloc::phy {
+
+namespace {
+
+Bits PduBits(const Packet& packet) {
+  Bits pdu;
+  pdu.reserve(16 + packet.payload.size() * 8);
+  const Bits header_bits =
+      BytesToBits(std::span<const std::uint8_t>{&packet.header.type, 1});
+  const Bits len_bits =
+      BytesToBits(std::span<const std::uint8_t>{&packet.header.length, 1});
+  pdu.insert(pdu.end(), header_bits.begin(), header_bits.end());
+  pdu.insert(pdu.end(), len_bits.begin(), len_bits.end());
+  const Bits payload_bits = BytesToBits(packet.payload);
+  pdu.insert(pdu.end(), payload_bits.begin(), payload_bits.end());
+  return pdu;
+}
+
+}  // namespace
+
+std::size_t AirBitCount(std::size_t payload_len) {
+  return kPreambleBits + kAccessAddressBits + 16 + payload_len * 8 + kCrcBits;
+}
+
+Bits AssembleAirBits(const Packet& packet, std::uint8_t channel_index,
+                     std::uint32_t crc_init) {
+  if (packet.header.length != packet.payload.size()) {
+    throw std::invalid_argument(
+        "AssembleAirBits: header length != payload size");
+  }
+  Bits air;
+  air.reserve(AirBitCount(packet.payload.size()));
+
+  // Preamble: 8 alternating bits whose first bit equals the AA's LSB.
+  const std::uint8_t first = packet.access_address & 1u;
+  for (std::size_t i = 0; i < kPreambleBits; ++i) {
+    air.push_back(static_cast<std::uint8_t>((first + i) & 1u));
+  }
+  const Bits aa_bits = IntToBits(packet.access_address, kAccessAddressBits);
+  air.insert(air.end(), aa_bits.begin(), aa_bits.end());
+
+  Bits pdu = PduBits(packet);
+  const Bits crc = Crc24Bits(pdu, crc_init);
+  pdu.insert(pdu.end(), crc.begin(), crc.end());
+  WhitenInPlace(pdu, channel_index);
+  air.insert(air.end(), pdu.begin(), pdu.end());
+  return air;
+}
+
+std::optional<Packet> ParseAirBits(std::span<const std::uint8_t> air_bits,
+                                   std::uint8_t channel_index,
+                                   std::uint32_t crc_init) {
+  const std::size_t head = kPreambleBits + kAccessAddressBits;
+  if (air_bits.size() < head + 16 + kCrcBits) return std::nullopt;
+
+  std::uint32_t aa = 0;
+  for (std::size_t i = 0; i < kAccessAddressBits; ++i) {
+    aa |= static_cast<std::uint32_t>(air_bits[kPreambleBits + i] & 1u) << i;
+  }
+
+  Bits pdu_and_crc(air_bits.begin() + static_cast<std::ptrdiff_t>(head),
+                   air_bits.end());
+  WhitenInPlace(pdu_and_crc, channel_index);
+
+  Packet packet;
+  packet.access_address = aa;
+  const Bytes header =
+      BitsToBytes(std::span(pdu_and_crc).subspan(0, 16));
+  packet.header.type = header[0];
+  packet.header.length = header[1];
+  const std::size_t payload_bits = std::size_t{packet.header.length} * 8;
+  if (pdu_and_crc.size() != 16 + payload_bits + kCrcBits) {
+    return std::nullopt;
+  }
+  const auto pdu = std::span(pdu_and_crc).subspan(0, 16 + payload_bits);
+  const auto crc = std::span(pdu_and_crc).subspan(16 + payload_bits);
+  if (!Crc24Check(pdu, crc, crc_init)) return std::nullopt;
+  packet.payload = BitsToBytes(pdu.subspan(16));
+  return packet;
+}
+
+Bytes MakeLocalizationPayload(std::uint8_t channel_index,
+                              std::size_t run_bits, std::size_t payload_len) {
+  if (run_bits == 0) throw std::invalid_argument("run_bits must be > 0");
+  const std::size_t n = payload_len * 8;
+  // Desired on-air pattern within the payload region: 0-run then 1-run.
+  Bits desired(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    desired[i] = static_cast<std::uint8_t>((i / run_bits) % 2);
+  }
+  // The payload starts 16 bits into the whitened PDU region.
+  const Bits seq = WhiteningSequence(channel_index, 16 + n);
+  Bits unwhitened(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    unwhitened[i] = desired[i] ^ seq[16 + i];
+  }
+  return BitsToBytes(unwhitened);
+}
+
+Packet MakeLocalizationPacket(std::uint8_t channel_index,
+                              std::uint32_t access_address,
+                              std::size_t run_bits, std::size_t payload_len) {
+  Packet p;
+  p.access_address = access_address;
+  p.header.type = 0x02;  // LL DATA PDU, LLID=0b10 (start/complete)
+  p.header.length = static_cast<std::uint8_t>(payload_len);
+  p.payload = MakeLocalizationPayload(channel_index, run_bits, payload_len);
+  return p;
+}
+
+}  // namespace bloc::phy

@@ -1,0 +1,54 @@
+// BLE link-layer packet framing: preamble + access address + PDU + CRC24,
+// with data whitening, plus the construction of BLoc localization packets
+// whose *on-air* payload consists of long runs of 0s then 1s (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy/bits.h"
+#include "phy/constants.h"
+
+namespace bloc::phy {
+
+struct PduHeader {
+  std::uint8_t type = 0;    // LLID / PDU type nibble, kept generic here
+  std::uint8_t length = 0;  // payload length in bytes
+};
+
+struct Packet {
+  std::uint32_t access_address = kAdvertisingAccessAddress;
+  PduHeader header;
+  Bytes payload;
+};
+
+/// Assembles the on-air bit stream: preamble (alternating, first bit = LSB
+/// of the access address), access address LSB-first, then the whitened
+/// PDU + CRC24.
+Bits AssembleAirBits(const Packet& packet, std::uint8_t channel_index,
+                     std::uint32_t crc_init);
+
+/// Parses an air bit stream back into a Packet; returns nullopt if the bit
+/// count is malformed or the CRC fails.
+std::optional<Packet> ParseAirBits(std::span<const std::uint8_t> air_bits,
+                                   std::uint8_t channel_index,
+                                   std::uint32_t crc_init);
+
+/// Number of air bits for a packet with `payload_len` payload bytes.
+std::size_t AirBitCount(std::size_t payload_len);
+
+/// Builds a payload that, *after* whitening for `channel_index`, appears on
+/// air as alternating runs: `run_bits` zeros, then `run_bits` ones,
+/// repeating for `payload_len` bytes. This is how a standards-compliant
+/// packet still presents the stable f0/f1 plateaus BLoc measures CSI on.
+Bytes MakeLocalizationPayload(std::uint8_t channel_index,
+                              std::size_t run_bits, std::size_t payload_len);
+
+/// A ready-to-send localization packet (header type 0b0010 "continuation"
+/// style data PDU carrying the pre-whitened run payload).
+Packet MakeLocalizationPacket(std::uint8_t channel_index,
+                              std::uint32_t access_address,
+                              std::size_t run_bits = 8,
+                              std::size_t payload_len = 20);
+
+}  // namespace bloc::phy

@@ -1,0 +1,32 @@
+#include "phy/whitening.h"
+
+namespace bloc::phy {
+
+Bits WhiteningSequence(std::uint8_t channel_index, std::size_t count) {
+  // Register seeded with bit6 = 1, bits5..0 = channel index (Core Spec
+  // 3.2 Figure 3.5).
+  std::uint8_t lfsr =
+      static_cast<std::uint8_t>(0x40u | (channel_index & 0x3Fu));
+  Bits seq(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t out = (lfsr >> 6) & 1u;  // position 0 output
+    seq[i] = out;
+    lfsr = static_cast<std::uint8_t>((lfsr << 1) & 0x7Fu);
+    if (out) lfsr ^= 0x11u;  // feedback into positions 4 and 0 (x^7 + x^4 + 1)
+  }
+  return seq;
+}
+
+void WhitenInPlace(std::span<std::uint8_t> bits, std::uint8_t channel_index) {
+  const Bits seq = WhiteningSequence(channel_index, bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] ^= seq[i];
+}
+
+Bits Whitened(std::span<const std::uint8_t> bits,
+              std::uint8_t channel_index) {
+  Bits out(bits.begin(), bits.end());
+  WhitenInPlace(out, channel_index);
+  return out;
+}
+
+}  // namespace bloc::phy

@@ -1,0 +1,27 @@
+// BLE data whitening (Core Spec 3.2): a 7-bit LFSR (x^7 + x^4 + 1) seeded
+// with the RF channel index scrambles PDU+CRC bits on air.
+//
+// Whitening matters to BLoc: a payload of literal 0x00/0xFF bytes would be
+// scrambled on air, destroying the long constant-frequency runs CSI
+// extraction needs. The localization payload is therefore pre-whitened
+// (XORed with the known whitening sequence) so the *on-air* bits carry the
+// long 0/1 runs. See MakeLocalizationPayload in packet.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "phy/bits.h"
+
+namespace bloc::phy {
+
+/// The whitening sequence for `channel_index` (0..39), `count` bits long.
+Bits WhiteningSequence(std::uint8_t channel_index, std::size_t count);
+
+/// XORs bits with the whitening sequence in place (involution: applying it
+/// twice restores the input).
+void WhitenInPlace(std::span<std::uint8_t> bits, std::uint8_t channel_index);
+
+Bits Whitened(std::span<const std::uint8_t> bits, std::uint8_t channel_index);
+
+}  // namespace bloc::phy

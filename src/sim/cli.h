@@ -1,0 +1,25 @@
+// Tiny flag parser shared by the bench binaries and examples:
+// --key=value or --flag (boolean).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bloc::sim {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  std::size_t SizeT(const std::string& key, std::size_t fallback) const;
+  std::uint64_t U64(const std::string& key, std::uint64_t fallback) const;
+  double Double(const std::string& key, double fallback) const;
+  std::string Str(const std::string& key, const std::string& fallback) const;
+  bool Flag(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bloc::sim

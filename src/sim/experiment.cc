@@ -1,0 +1,117 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "eval/metrics.h"
+#include "net/transport.h"
+#include "sim/vicon.h"
+
+namespace bloc::sim {
+
+dsp::GridSpec RoomGrid(const ScenarioConfig& config, double resolution,
+                       double margin) {
+  dsp::GridSpec spec;
+  spec.x_min = -margin;
+  spec.y_min = -margin;
+  spec.x_max = config.room_width + margin;
+  spec.y_max = config.room_height + margin;
+  spec.resolution = resolution;
+  return spec;
+}
+
+Dataset GenerateDataset(const ScenarioConfig& config,
+                        const DatasetOptions& options) {
+  Testbed testbed(config);
+  MeasurementSimulator sim(testbed);
+  sim.SetChannelMap(options.channel_map);
+  ViconSystem vicon{dsp::Rng(config.seed)};
+
+  // Reports travel through the real framing/decoding path into the
+  // collector, exactly as they would over TCP.
+  net::Collector collector;
+  net::InProcTransport transport(collector);
+  for (const anchor::AnchorNode& node : testbed.anchors()) {
+    net::AnchorHelloMsg hello;
+    hello.anchor_id = node.id();
+    hello.is_master = node.is_master();
+    const geom::Vec2 p = node.geometry().AntennaPosition(0);
+    hello.pos_x = p.x;
+    hello.pos_y = p.y;
+    hello.axis_radians = node.geometry().axis_radians;
+    hello.num_antennas = static_cast<std::uint8_t>(
+        node.geometry().num_antennas);
+    transport.Send(hello);
+  }
+
+  Dataset dataset;
+  dataset.deployment = testbed.deployment();
+  dataset.room_grid = RoomGrid(config, options.grid_resolution);
+
+  const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(
+      options.locations, 0.3, options.position_seed);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const net::MeasurementRound produced = sim.RunRound(positions[i], i);
+    for (const anchor::CsiReport& report : produced.reports) {
+      transport.Send(net::CsiReportMsg{report});
+    }
+    auto round = collector.TryGetRound(i);
+    if (!round) {
+      throw std::runtime_error("GenerateDataset: round did not complete");
+    }
+    dataset.rounds.push_back(std::move(*round));
+    dataset.truths.push_back(vicon.Measure(positions[i]));
+    if (options.progress) options.progress(i + 1, positions.size());
+  }
+  return dataset;
+}
+
+std::vector<double> EvaluateBloc(const Dataset& dataset,
+                                 const core::LocalizerConfig& config) {
+  const core::Localizer localizer(dataset.deployment, config);
+  std::vector<double> errors;
+  errors.reserve(dataset.rounds.size());
+  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+    const core::LocationResult result = localizer.Locate(dataset.rounds[i]);
+    errors.push_back(
+        eval::LocalizationError(result.position, dataset.truths[i]));
+  }
+  return errors;
+}
+
+std::vector<double> EvaluateAoa(const Dataset& dataset,
+                                baseline::AoaBaselineConfig config) {
+  const baseline::AoaBaseline baseline(dataset.deployment, std::move(config));
+  std::vector<double> errors;
+  errors.reserve(dataset.rounds.size());
+  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+    const baseline::AoaResult result = baseline.Locate(dataset.rounds[i]);
+    errors.push_back(
+        eval::LocalizationError(result.position, dataset.truths[i]));
+  }
+  return errors;
+}
+
+std::vector<double> EvaluateRssi(const Dataset& dataset,
+                                 baseline::RssiBaselineConfig config) {
+  const baseline::RssiBaseline baseline(dataset.deployment, std::move(config));
+  std::vector<double> errors;
+  errors.reserve(dataset.rounds.size());
+  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+    const baseline::RssiResult result = baseline.Locate(dataset.rounds[i]);
+    errors.push_back(
+        eval::LocalizationError(result.position, dataset.truths[i]));
+  }
+  return errors;
+}
+
+core::LocalizerConfig PaperLocalizerConfig(const Dataset& dataset) {
+  core::LocalizerConfig config;
+  config.grid = dataset.room_grid;
+  config.scoring.a = 0.1;                     // paper §7
+  config.scoring.b = 0.05;                    // paper §7
+  config.scoring.entropy_window_radius = 3;   // 7x7 circular window
+  config.scoring.mode = core::SelectionMode::kBlocScore;
+  return config;
+}
+
+}  // namespace bloc::sim

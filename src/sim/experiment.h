@@ -1,0 +1,69 @@
+// Experiment orchestration: generates the evaluation dataset (the paper's
+// 1700 measured tag positions, §7) by running measurement rounds and
+// shipping every report through the wire codec to the collector, then
+// evaluates localizers against the recorded rounds. Generating once and
+// evaluating many configurations mirrors the paper's methodology (same
+// measurements, different processing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "baseline/aoa_baseline.h"
+#include "baseline/rssi_baseline.h"
+#include "bloc/localizer.h"
+#include "net/collector.h"
+#include "sim/measurement.h"
+#include "sim/testbed.h"
+
+namespace bloc::sim {
+
+struct Dataset {
+  core::Deployment deployment;
+  std::vector<geom::Vec2> truths;  // VICON-measured ground truth
+  std::vector<net::MeasurementRound> rounds;
+  dsp::GridSpec room_grid;  // search grid matching the scenario's room
+};
+
+struct DatasetOptions {
+  std::size_t locations = 250;
+  double grid_resolution = 0.075;
+  /// Channel map used during collection (Fig. 11 blacklisting).
+  link::ChannelMap channel_map;
+  /// When nonzero, tag positions are sampled from this seed instead of the
+  /// scenario seed — lets two datasets share the identical environment
+  /// (scatterers, shadowing) while visiting different positions, e.g. the
+  /// fingerprinting survey/query split.
+  std::uint64_t position_seed = 0;
+  /// Progress callback, called after each location (may be empty).
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Runs `options.locations` measurement rounds on a fresh testbed built
+/// from `config`. Each round's reports travel through EncodeFrame/TCP-style
+/// framing into a Collector before being recorded.
+Dataset GenerateDataset(const ScenarioConfig& config,
+                        const DatasetOptions& options);
+
+/// Localization errors (metres) of the BLoc pipeline over the dataset.
+std::vector<double> EvaluateBloc(const Dataset& dataset,
+                                 const core::LocalizerConfig& config);
+
+/// Errors of the AoA-combining baseline over the dataset.
+std::vector<double> EvaluateAoa(const Dataset& dataset,
+                                baseline::AoaBaselineConfig config);
+
+/// Errors of the RSSI trilateration baseline over the dataset.
+std::vector<double> EvaluateRssi(const Dataset& dataset,
+                                 baseline::RssiBaselineConfig config);
+
+/// Grid spec covering the scenario's room plus `margin` metres.
+dsp::GridSpec RoomGrid(const ScenarioConfig& config, double resolution = 0.075,
+                       double margin = 0.0);
+
+/// LocalizerConfig preset matching the paper's parameters (§7) for a
+/// dataset's room grid.
+core::LocalizerConfig PaperLocalizerConfig(const Dataset& dataset);
+
+}  // namespace bloc::sim

@@ -1,0 +1,182 @@
+#include "sim/measurement.h"
+
+#include <cmath>
+
+#include "channel/noise.h"
+#include "dsp/complex_ops.h"
+#include "dsp/fft.h"
+#include "link/channel_map.h"
+#include "phy/constants.h"
+
+namespace bloc::sim {
+
+using dsp::cplx;
+
+MeasurementSimulator::MeasurementSimulator(Testbed& testbed)
+    : testbed_(testbed),
+      noise_rng_(dsp::Rng(testbed.config().seed).Fork("measurement-noise")) {}
+
+const MeasurementSimulator::ChannelAssets& MeasurementSimulator::AssetsFor(
+    std::uint8_t data_channel) {
+  ChannelAssets& a = assets_[data_channel];
+  if (assets_ready_[data_channel]) return a;
+  const ScenarioConfig& cfg = testbed_.config();
+  const phy::Packet packet = phy::MakeLocalizationPacket(
+      data_channel, 0x50C0FFEEu, cfg.run_bits, cfg.payload_len);
+  a.air_bits = phy::AssembleAirBits(packet, data_channel, 0x123456u);
+  a.tx_iq = extractor_.modulator().Modulate(a.air_bits);
+  a.plateaus = extractor_.FindPlateaus(a.air_bits);
+  a.n0 = a.plateaus.f0.size();
+  a.n1 = a.plateaus.f1.size();
+  assets_ready_[data_channel] = true;
+  return a;
+}
+
+cplx MeasurementSimulator::MeasureAnalytic(const chan::PathSet& paths,
+                                           double center_hz,
+                                           cplx offset_rotor,
+                                           const ChannelAssets& assets) {
+  const double dev = phy::kFrequencyDeviationHz;
+  const double n0_var =
+      testbed_.config().noise.NoiseVariance() /
+      std::max<std::size_t>(assets.n0, 1);
+  const double n1_var =
+      testbed_.config().noise.NoiseVariance() /
+      std::max<std::size_t>(assets.n1, 1);
+  const cplx h0 = paths.Evaluate(center_hz - dev) * offset_rotor +
+                  noise_rng_.ComplexGaussian(n0_var);
+  const cplx h1 = paths.Evaluate(center_hz + dev) * offset_rotor +
+                  noise_rng_.ComplexGaussian(n1_var);
+  const cplx hs[2] = {h0, h1};
+  return dsp::MergeAmpPhase(hs);
+}
+
+cplx MeasurementSimulator::MeasureFullPhy(const chan::PathSet& paths,
+                                          double center_hz, cplx offset_rotor,
+                                          double cfo_hz,
+                                          const ChannelAssets& assets) {
+  const double fs = extractor_.modulator().sample_rate_hz();
+  const std::size_t nfft = dsp::NextPow2(assets.tx_iq.size());
+  // Channel transfer function per FFT bin, evaluated on a uniform comb so
+  // each path costs one sincos pair instead of one per bin.
+  const dsp::CVec comb =
+      paths.EvaluateComb(center_hz - fs / 2.0, fs / static_cast<double>(nfft),
+                         nfft);
+  const double f_lo = -fs / 2.0;
+  const double df = fs / static_cast<double>(nfft);
+  dsp::CVec rx = dsp::ApplyTransferFunction(
+      assets.tx_iq, fs, [&](double f) {
+        auto idx = static_cast<std::size_t>(std::llround((f - f_lo) / df));
+        if (idx >= comb.size()) idx = comb.size() - 1;
+        return comb[idx];
+      });
+
+  const double noise_var = testbed_.config().noise.NoiseVariance();
+  const double dt = 1.0 / fs;
+  for (std::size_t n = 0; n < rx.size(); ++n) {
+    cplx v = rx[n] * offset_rotor;
+    if (cfo_hz != 0.0) {
+      v *= dsp::Rotor(dsp::kTwoPi * cfo_hz * static_cast<double>(n) * dt);
+    }
+    rx[n] = v + noise_rng_.ComplexGaussian(noise_var);
+  }
+  const phy::CsiEstimate est =
+      extractor_.Estimate(assets.tx_iq, rx, assets.plateaus);
+  return est.merged;
+}
+
+net::MeasurementRound MeasurementSimulator::RunRound(
+    const geom::Vec2& tag_position, std::uint64_t round_id) {
+  const ScenarioConfig& cfg = testbed_.config();
+  auto& anchors = testbed_.anchors();
+  const std::size_t master_idx = cfg.master_index;
+  const geom::Vec2 master_tx =
+      anchors[master_idx].geometry().AntennaPosition(0);
+
+  // Propagation geometry is frequency-independent: solve every link once
+  // per round, evaluate per band.
+  std::vector<std::vector<chan::PathSet>> tag_paths(anchors.size());
+  std::vector<std::vector<chan::PathSet>> master_paths(anchors.size());
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const auto& geometry = anchors[i].geometry();
+    for (std::size_t j = 0; j < geometry.num_antennas; ++j) {
+      const geom::Vec2 rx = geometry.AntennaPosition(j);
+      tag_paths[i].push_back(testbed_.solver().Solve(tag_position, rx));
+      if (i != master_idx) {
+        master_paths[i].push_back(testbed_.solver().Solve(master_tx, rx));
+      }
+    }
+  }
+
+  // Establish the BLE connection and hop through one localization round.
+  link::Connection conn;
+  conn.StartAdvertising();
+  link::ConnectionParams params;
+  params.channel_map = channel_map_;
+  conn.Connect(params);
+  const std::vector<link::ConnectionEvent> events = conn.LocalizationRound();
+
+  for (anchor::AnchorNode& node : anchors) node.BeginRound(round_id);
+
+  for (const link::ConnectionEvent& ev : events) {
+    const std::uint8_t ch = ev.data_channel;
+    const double fc = link::DataChannelFrequencyHz(ch);
+    const ChannelAssets& assets = AssetsFor(ch);
+
+    // Every radio retunes its LO for the new band: fresh random phases.
+    testbed_.tag_oscillator().Retune();
+    for (anchor::AnchorNode& node : anchors) node.oscillator().Retune();
+    const double phi_tag = testbed_.tag_oscillator().phase();
+    const double phi_master = anchors[master_idx].oscillator().phase();
+    const double tag_cfo = testbed_.tag_oscillator().CfoHz(fc);
+    const double master_cfo = anchors[master_idx].oscillator().CfoHz(fc);
+
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      anchor::AnchorNode& node = anchors[i];
+      const std::size_t antennas = node.geometry().num_antennas;
+      anchor::BandMeasurement band;
+      band.data_channel = ch;
+      band.freq_hz = fc;
+      band.tag_csi.resize(antennas);
+      band.master_csi.resize(i == master_idx ? 0 : antennas);
+
+      for (std::size_t j = 0; j < antennas; ++j) {
+        // Tag packet: offset e^{j(phi_T - phi_Ri)} (+ per-antenna error).
+        const cplx rx_rotor = std::conj(node.oscillator().PhaseRotor(j));
+        const cplx tag_rotor = dsp::Rotor(phi_tag) * rx_rotor;
+        if (cfg.mode == MeasurementMode::kAnalytic) {
+          band.tag_csi[j] =
+              MeasureAnalytic(tag_paths[i][j], fc, tag_rotor, assets);
+        } else {
+          band.tag_csi[j] =
+              MeasureFullPhy(tag_paths[i][j], fc, tag_rotor,
+                             tag_cfo - node.oscillator().CfoHz(fc), assets);
+        }
+        // Master response, overheard by slave anchors only.
+        if (i != master_idx) {
+          const cplx master_rotor = dsp::Rotor(phi_master) * rx_rotor;
+          if (cfg.mode == MeasurementMode::kAnalytic) {
+            band.master_csi[j] =
+                MeasureAnalytic(master_paths[i][j], fc, master_rotor, assets);
+          } else {
+            band.master_csi[j] = MeasureFullPhy(
+                master_paths[i][j], fc, master_rotor,
+                master_cfo - node.oscillator().CfoHz(fc), assets);
+          }
+        }
+      }
+      band.rssi_db = 20.0 * std::log10(
+                                std::max(std::abs(band.tag_csi[0]), 1e-12));
+      node.RecordBand(std::move(band));
+    }
+  }
+
+  net::MeasurementRound round;
+  round.round_id = round_id;
+  for (const anchor::AnchorNode& node : anchors) {
+    round.reports.push_back(node.report());
+  }
+  return round;
+}
+
+}  // namespace bloc::sim

@@ -1,0 +1,75 @@
+// Executes BLoc measurement rounds: the tag and the master anchor exchange
+// localization packets on every hopped band while all anchors measure CSI
+// on every antenna, with per-retune LO phase offsets and receiver noise.
+//
+// Two fidelity modes (ScenarioConfig::mode):
+//  - kAnalytic: channel values + offsets + estimation-equivalent noise are
+//    applied per band directly (fast; used by the large sweeps).
+//  - kFullPhy: every packet is GFSK-modulated, convolved with the
+//    frequency-selective channel, hit with per-sample AWGN and optional CFO,
+//    and CSI is extracted from the 0/1-run plateaus (paper §4 end to end).
+// A test asserts both modes agree to within the noise floor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "link/connection.h"
+#include "net/collector.h"
+#include "phy/csi_extract.h"
+#include "phy/packet.h"
+#include "sim/testbed.h"
+
+namespace bloc::sim {
+
+class MeasurementSimulator {
+ public:
+  explicit MeasurementSimulator(Testbed& testbed);
+
+  /// One full localization round (every used data channel visited once) for
+  /// a tag at `tag_position`; returns one CsiReport per anchor.
+  net::MeasurementRound RunRound(const geom::Vec2& tag_position,
+                                 std::uint64_t round_id);
+
+  /// Restricts hopping to this channel map (Fig. 11 blacklisting).
+  void SetChannelMap(const link::ChannelMap& map) { channel_map_ = map; }
+
+  const link::ChannelMap& channel_map() const { return channel_map_; }
+
+ private:
+  struct BandCsi {
+    dsp::CVec tag_csi;     // per antenna of one anchor
+    dsp::CVec master_csi;  // per antenna (empty on the master anchor)
+  };
+
+  /// Per-channel packet and plateau cache (packets differ per channel
+  /// because the payload is pre-whitened).
+  struct ChannelAssets {
+    phy::Bits air_bits;
+    dsp::CVec tx_iq;           // reference waveform, zero initial phase
+    phy::PlateauIndices plateaus;
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+  };
+
+  const ChannelAssets& AssetsFor(std::uint8_t data_channel);
+
+  /// Measured (noisy, offset-garbled) per-band channel between two points,
+  /// given the LO phase difference rotor.
+  dsp::cplx MeasureAnalytic(const chan::PathSet& paths, double center_hz,
+                            dsp::cplx offset_rotor,
+                            const ChannelAssets& assets);
+  dsp::cplx MeasureFullPhy(const chan::PathSet& paths, double center_hz,
+                           dsp::cplx offset_rotor, double cfo_hz,
+                           const ChannelAssets& assets);
+
+  Testbed& testbed_;
+  link::ChannelMap channel_map_;
+  phy::CsiExtractor extractor_;
+  dsp::Rng noise_rng_;
+  std::array<ChannelAssets, link::kNumDataChannels> assets_;
+  std::array<bool, link::kNumDataChannels> assets_ready_{};
+};
+
+}  // namespace bloc::sim

@@ -1,0 +1,104 @@
+#include "sim/scenario.h"
+
+namespace bloc::sim {
+
+namespace {
+
+/// Four anchors at the middle of each room edge, boresight inward
+/// (paper §7, Fig. 7c).
+std::vector<AnchorLayout> MidEdgeAnchors(double w, double h,
+                                         std::size_t antennas) {
+  return {
+      {{w / 2.0, 0.02}, {0.0, 1.0}, antennas},    // south edge, faces north
+      {{w - 0.02, h / 2.0}, {-1.0, 0.0}, antennas},  // east edge, faces west
+      {{w / 2.0, h - 0.02}, {0.0, -1.0}, antennas},  // north edge, faces south
+      {{0.02, h / 2.0}, {1.0, 0.0}, antennas},    // west edge, faces east
+  };
+}
+
+}  // namespace
+
+ScenarioConfig PaperTestbed(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.room_width = 6.0;
+  cfg.room_height = 5.0;
+  cfg.seed = seed;
+  cfg.anchors = MidEdgeAnchors(cfg.room_width, cfg.room_height, 4);
+  cfg.master_index = 0;
+  // The VICON room is "full of metallic objects, like robotic equipment,
+  // large metal cupboards" (§7): walls and clutter reflect strongly, and
+  // the clutter frequently obstructs the line of sight, so reflections are
+  // often stronger than the direct path.
+  cfg.wall_reflectivity = 0.7;
+  cfg.wall_scattering = 0.35;
+
+  auto metal = [&](double x0, double y0, double x1, double y1,
+                   double loss_db, const char* label) {
+    geom::Obstacle o;
+    o.min_corner = {x0, y0};
+    o.max_corner = {x1, y1};
+    o.reflectivity = 0.9;
+    o.scattering = 0.4;
+    o.through_loss_db = loss_db;
+    o.label = label;
+    cfg.obstacles.push_back(o);
+  };
+  metal(0.4, 3.6, 1.3, 4.4, 18.0, "metal-cupboard");
+  metal(4.4, 0.7, 5.3, 1.5, 14.0, "robot-rack");
+  metal(2.6, 2.1, 3.2, 2.7, 10.0, "instrument-cart");
+  metal(0.5, 0.8, 1.1, 1.6, 14.0, "equipment-crate");
+  metal(4.6, 3.8, 5.5, 4.3, 16.0, "camera-rig-cabinet");
+
+  // Out-of-plane clutter shadows the direct ray (see PropagationConfig):
+  // reflections frequently end up stronger than the line of sight.
+  cfg.propagation.direct_excess_loss_db = 8.0;
+  cfg.propagation.direct_shadowing_std_db = 12.0;
+  cfg.noise.snr_at_1m_db = 28.0;
+  cfg.impairments.random_retune_phase = true;
+  return cfg;
+}
+
+ScenarioConfig LosClean(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.room_width = 6.0;
+  cfg.room_height = 5.0;
+  cfg.seed = seed;
+  cfg.anchors = MidEdgeAnchors(cfg.room_width, cfg.room_height, 4);
+  cfg.master_index = 0;
+  // Anechoic-like: weak walls, no clutter, no diffuse scatter.
+  cfg.wall_reflectivity = 0.05;
+  cfg.wall_scattering = 0.0;
+  cfg.propagation.include_second_order = false;
+  cfg.propagation.include_diffuse = false;
+  cfg.noise.snr_at_1m_db = 45.0;
+  return cfg;
+}
+
+ScenarioConfig Warehouse(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.room_width = 14.0;
+  cfg.room_height = 9.0;
+  cfg.seed = seed;
+  cfg.anchors = {
+      {{3.5, 0.02}, {0.0, 1.0}, 4},  {{10.5, 0.02}, {0.0, 1.0}, 4},
+      {{13.98, 4.5}, {-1.0, 0.0}, 4}, {{10.5, 8.98}, {0.0, -1.0}, 4},
+      {{3.5, 8.98}, {0.0, -1.0}, 4},  {{0.02, 4.5}, {1.0, 0.0}, 4},
+  };
+  cfg.master_index = 0;
+  // Aisles of metal shelving.
+  for (int i = 0; i < 3; ++i) {
+    geom::Obstacle shelf;
+    const double x0 = 2.5 + 3.5 * i;
+    shelf.min_corner = {x0, 2.2};
+    shelf.max_corner = {x0 + 0.8, 6.8};
+    shelf.reflectivity = 0.8;
+    shelf.scattering = 0.35;
+    shelf.through_loss_db = 12.0;
+    shelf.label = "shelving-aisle-" + std::to_string(i);
+    cfg.obstacles.push_back(shelf);
+  }
+  cfg.noise.snr_at_1m_db = 38.0;
+  return cfg;
+}
+
+}  // namespace bloc::sim

@@ -1,0 +1,68 @@
+// Scenario presets: room geometry, materials, radio impairments and
+// measurement fidelity, bundled so experiments are reproducible end to end
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/hardware.h"
+#include "channel/noise.h"
+#include "channel/propagation.h"
+#include "geom/room.h"
+
+namespace bloc::sim {
+
+/// How per-band CSI is produced.
+enum class MeasurementMode {
+  /// Channel + LO offsets + equivalent noise applied directly to the
+  /// per-band channel values. Fast; validated against kFullPhy by tests.
+  kAnalytic,
+  /// Every packet is GFSK-modulated, passed through the frequency-selective
+  /// channel and AWGN, and CSI is extracted from the 0/1-run plateaus.
+  kFullPhy,
+};
+
+struct AnchorLayout {
+  geom::Vec2 center;   // centre of the antenna array
+  geom::Vec2 facing;   // boresight direction
+  std::size_t num_antennas = 4;
+};
+
+struct ScenarioConfig {
+  double room_width = 6.0;
+  double room_height = 5.0;
+  double wall_reflectivity = 0.45;
+  double wall_scattering = 0.2;
+  std::vector<geom::Obstacle> obstacles;
+
+  /// Anchors; `master_index` selects which terminates the BLE connection.
+  std::vector<AnchorLayout> anchors;
+  std::size_t master_index = 0;
+
+  chan::PropagationConfig propagation;
+  chan::NoiseConfig noise;
+  chan::ImpairmentConfig impairments;
+
+  MeasurementMode mode = MeasurementMode::kAnalytic;
+  /// BLoc localization packet design (paper §4/§6).
+  std::size_t run_bits = 8;
+  std::size_t payload_len = 20;
+
+  std::uint64_t seed = 1;
+};
+
+/// The paper's testbed (§7): 5 m x 6 m room, four 4-antenna anchors at the
+/// middle of each edge facing inward, and metallic clutter (cupboards,
+/// robot racks) making the room multipath-rich.
+ScenarioConfig PaperTestbed(std::uint64_t seed = 1);
+
+/// A nearly multipath-free line-of-sight variant used by the Fig. 8(b)
+/// microbenchmark (phase linear across bands after correction).
+ScenarioConfig LosClean(std::uint64_t seed = 1);
+
+/// A larger warehouse-style hall with aisles of metal shelving and six
+/// anchors, for the domain examples.
+ScenarioConfig Warehouse(std::uint64_t seed = 1);
+
+}  // namespace bloc::sim

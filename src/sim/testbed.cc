@@ -1,0 +1,83 @@
+#include "sim/testbed.h"
+
+#include <stdexcept>
+
+namespace bloc::sim {
+
+namespace {
+
+geom::Room BuildRoom(const ScenarioConfig& config) {
+  geom::Room room(config.room_width, config.room_height,
+                  config.wall_reflectivity, config.wall_scattering);
+  for (const geom::Obstacle& o : config.obstacles) room.AddObstacle(o);
+  return room;
+}
+
+std::vector<anchor::AnchorNode> BuildAnchors(const ScenarioConfig& config) {
+  if (config.anchors.empty()) {
+    throw std::invalid_argument("Testbed: no anchors configured");
+  }
+  if (config.master_index >= config.anchors.size()) {
+    throw std::invalid_argument("Testbed: master_index out of range");
+  }
+  std::vector<anchor::AnchorNode> nodes;
+  nodes.reserve(config.anchors.size());
+  const dsp::Rng root(config.seed);
+  for (std::size_t i = 0; i < config.anchors.size(); ++i) {
+    const AnchorLayout& layout = config.anchors[i];
+    const anchor::ArrayGeometry geometry = anchor::MakeFacingArray(
+        layout.center, layout.facing, layout.num_antennas);
+    const auto role = i == config.master_index ? anchor::AnchorRole::kMaster
+                                               : anchor::AnchorRole::kSlave;
+    nodes.emplace_back(static_cast<std::uint32_t>(i + 1), role, geometry,
+                       config.impairments, root);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Testbed::Testbed(const ScenarioConfig& config)
+    : config_(config),
+      room_(BuildRoom(config)),
+      solver_(room_, config.propagation, config.seed),
+      anchors_(BuildAnchors(config)),
+      tag_oscillator_(config.impairments, dsp::Rng(config.seed).Fork("tag"),
+                      1) {}
+
+core::Deployment Testbed::deployment() const {
+  core::Deployment dep;
+  for (const anchor::AnchorNode& node : anchors_) {
+    dep.anchors.push_back(
+        {node.id(), node.is_master(), node.geometry()});
+  }
+  return dep;
+}
+
+std::vector<geom::Vec2> Testbed::SampleTagPositions(
+    std::size_t count, double margin, std::uint64_t seed_override) const {
+  dsp::Rng rng =
+      dsp::Rng(seed_override != 0 ? seed_override : config_.seed)
+          .Fork("tag-positions");
+  std::vector<geom::Vec2> out;
+  out.reserve(count);
+  std::size_t guard = 0;
+  while (out.size() < count) {
+    if (++guard > count * 1000) {
+      throw std::runtime_error("SampleTagPositions: room too cluttered");
+    }
+    geom::Vec2 p{rng.Uniform(margin, config_.room_width - margin),
+                 rng.Uniform(margin, config_.room_height - margin)};
+    bool inside_obstacle = false;
+    for (const geom::Obstacle& o : room_.obstacles()) {
+      if (o.Contains(p)) {
+        inside_obstacle = true;
+        break;
+      }
+    }
+    if (!inside_obstacle) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace bloc::sim

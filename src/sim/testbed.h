@@ -1,0 +1,51 @@
+// The assembled testbed: room + path solver + anchor nodes + tag radio,
+// with deployment calibration and tag-position sampling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "anchor/anchor.h"
+#include "bloc/calibration.h"
+#include "channel/propagation.h"
+#include "geom/room.h"
+#include "sim/scenario.h"
+
+namespace bloc::sim {
+
+class Testbed {
+ public:
+  explicit Testbed(const ScenarioConfig& config);
+
+  const ScenarioConfig& config() const { return config_; }
+  const geom::Room& room() const { return room_; }
+  const chan::PathSolver& solver() const { return solver_; }
+
+  std::vector<anchor::AnchorNode>& anchors() { return anchors_; }
+  const std::vector<anchor::AnchorNode>& anchors() const { return anchors_; }
+  anchor::AnchorNode& master() { return anchors_[config_.master_index]; }
+
+  /// The tag's radio oscillator (one antenna).
+  chan::Oscillator& tag_oscillator() { return tag_oscillator_; }
+
+  /// Deployment calibration as the central server would hold it.
+  core::Deployment deployment() const;
+
+  /// Samples `count` tag positions uniformly inside the room (outside
+  /// obstacles, with a safety margin off the walls), seeded independently
+  /// of the channel randomness.
+  /// `seed_override` (nonzero) decouples position sampling from the
+  /// scenario seed so different position sets share one environment.
+  std::vector<geom::Vec2> SampleTagPositions(
+      std::size_t count, double margin = 0.3,
+      std::uint64_t seed_override = 0) const;
+
+ private:
+  ScenarioConfig config_;
+  geom::Room room_;
+  chan::PathSolver solver_;
+  std::vector<anchor::AnchorNode> anchors_;
+  chan::Oscillator tag_oscillator_;
+};
+
+}  // namespace bloc::sim

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "baseline/aoa_baseline.h"
+#include "baseline/rssi_baseline.h"
+#include "dsp/complex_ops.h"
+#include "sim/experiment.h"
+#include "sim/measurement.h"
+
+namespace bloc::baseline {
+namespace {
+
+struct LosFixture {
+  sim::ScenarioConfig scenario = sim::LosClean(13);
+  sim::Testbed testbed{scenario};
+  core::Deployment deployment = testbed.deployment();
+  geom::Vec2 tag{3.6, 2.2};
+  net::MeasurementRound round;
+
+  LosFixture() {
+    sim::MeasurementSimulator simulator(testbed);
+    round = simulator.RunRound(tag, 0);
+  }
+};
+
+const LosFixture& Los() {
+  static const LosFixture fixture;
+  return fixture;
+}
+
+AoaBaselineConfig BaseConfig() {
+  AoaBaselineConfig config;
+  config.grid = sim::RoomGrid(sim::LosClean(13));
+  return config;
+}
+
+TEST(AoaBaseline, BearingsPointAtLosTag) {
+  const AoaBaseline aoa(Los().deployment, BaseConfig());
+  for (const anchor::CsiReport& report : Los().round.reports) {
+    const core::AnchorPose* pose = Los().deployment.Find(report.anchor_id);
+    const AnchorBearing b = aoa.Bearing(report, *pose);
+    const geom::Vec2 truth_dir = (Los().tag - b.origin).Normalized();
+    EXPECT_GT(truth_dir.Dot(b.direction), 0.995)
+        << "anchor " << report.anchor_id;
+  }
+}
+
+TEST(AoaBaseline, LocatesLosTag) {
+  const AoaBaseline aoa(Los().deployment, BaseConfig());
+  const AoaResult result = aoa.Locate(Los().round);
+  EXPECT_LT(geom::Distance(result.position, Los().tag), 0.2);
+  EXPECT_EQ(result.bearings.size(), 4u);
+}
+
+TEST(AoaBaseline, MusicAlsoLocatesLosTag) {
+  AoaBaselineConfig config = BaseConfig();
+  config.method = AoaMethod::kMusic;
+  const AoaBaseline aoa(Los().deployment, config);
+  const AoaResult result = aoa.Locate(Los().round);
+  EXPECT_LT(geom::Distance(result.position, Los().tag), 0.3);
+}
+
+TEST(AoaBaseline, MapFusionVariantWorks) {
+  AoaBaselineConfig config = BaseConfig();
+  config.combining = AoaCombining::kMapFusion;
+  config.keep_map = true;
+  const AoaBaseline aoa(Los().deployment, config);
+  const AoaResult result = aoa.Locate(Los().round);
+  EXPECT_LT(geom::Distance(result.position, Los().tag), 0.3);
+  EXPECT_NE(result.fused_map, nullptr);
+}
+
+TEST(AoaBaseline, AnchorSubsetRespected) {
+  AoaBaselineConfig config = BaseConfig();
+  config.allowed_anchors = {2, 3};
+  const AoaBaseline aoa(Los().deployment, config);
+  const AoaResult result = aoa.Locate(Los().round);
+  EXPECT_EQ(result.bearings.size(), 2u);
+}
+
+TEST(AoaBaseline, NoUsableAnchorsThrows) {
+  AoaBaselineConfig config = BaseConfig();
+  config.allowed_anchors = {99};
+  const AoaBaseline aoa(Los().deployment, config);
+  EXPECT_THROW(aoa.Locate(Los().round), std::invalid_argument);
+}
+
+TEST(AoaBaseline, EmptyDeploymentThrows) {
+  EXPECT_THROW(AoaBaseline(core::Deployment{}, BaseConfig()),
+               std::invalid_argument);
+}
+
+TEST(TriangulateBearings, ExactIntersection) {
+  // Two perpendicular bearings meeting at (2, 3).
+  std::vector<AnchorBearing> bearings(2);
+  bearings[0].origin = {2, 0};
+  bearings[0].direction = {0, 1};
+  bearings[0].strength = 1.0;
+  bearings[1].origin = {0, 3};
+  bearings[1].direction = {1, 0};
+  bearings[1].strength = 1.0;
+  const geom::Vec2 p = TriangulateBearings(bearings);
+  EXPECT_NEAR(p.x, 2.0, 1e-9);
+  EXPECT_NEAR(p.y, 3.0, 1e-9);
+}
+
+TEST(TriangulateBearings, WeightsBias) {
+  // Three bearings: two agree on (2,3); a heavy outlier drags the fit.
+  std::vector<AnchorBearing> bearings(3);
+  bearings[0] = {1, 0.0, {0, 1}, {2, 0}, 1.0};
+  bearings[1] = {2, 0.0, {1, 0}, {0, 3}, 1.0};
+  bearings[2] = {3, 0.0, {0, 1}, {4, 0}, 10.0};  // vertical line at x=4
+  const geom::Vec2 p = TriangulateBearings(bearings);
+  EXPECT_GT(p.x, 2.5);  // pulled toward x=4
+}
+
+TEST(TriangulateBearings, ParallelLinesFallBackToCentroid) {
+  std::vector<AnchorBearing> bearings(2);
+  bearings[0] = {1, 0.0, {0, 1}, {1, 0}, 1.0};
+  bearings[1] = {2, 0.0, {0, 1}, {3, 0}, 1.0};
+  const geom::Vec2 p = TriangulateBearings(bearings);
+  EXPECT_NEAR(p.x, 2.0, 1e-9);  // centroid of origins
+  EXPECT_THROW(TriangulateBearings({}), std::invalid_argument);
+}
+
+TEST(RssiBaseline, RangeInversion) {
+  RssiBaselineConfig config;
+  config.rssi_at_1m_db = 0.0;
+  config.path_loss_exponent = 2.0;
+  const RssiBaseline rssi(Los().deployment, config);
+  EXPECT_NEAR(rssi.RangeFromRssi(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(rssi.RangeFromRssi(-20.0), 10.0, 1e-9);
+  EXPECT_NEAR(rssi.RangeFromRssi(-40.0), 100.0, 1e-9);
+}
+
+TEST(RssiBaseline, LocatesRoughlyInLos) {
+  RssiBaselineConfig config;
+  config.grid = sim::RoomGrid(sim::LosClean(13));
+  const RssiBaseline rssi(Los().deployment, config);
+  const RssiResult result = rssi.Locate(Los().round);
+  ASSERT_EQ(result.ranges.size(), 4u);
+  // RSSI is coarse even in LOS, but should land within ~1 m here.
+  EXPECT_LT(geom::Distance(result.position, Los().tag), 1.0);
+}
+
+TEST(RssiBaseline, NeedsThreeAnchors) {
+  RssiBaselineConfig config;
+  config.grid = sim::RoomGrid(sim::LosClean(13));
+  const RssiBaseline rssi(Los().deployment, config);
+  net::MeasurementRound thin = Los().round;
+  thin.reports.resize(2);
+  EXPECT_THROW(rssi.Locate(thin), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bloc::baseline

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "anchor/array.h"
+#include "bloc/multipath.h"
+
+namespace bloc::core {
+namespace {
+
+Deployment TwoAnchorDeployment() {
+  Deployment dep;
+  dep.anchors.push_back(
+      {1, true, anchor::MakeFacingArray({3.0, 0.0}, {0.0, 1.0})});
+  dep.anchors.push_back(
+      {2, false, anchor::MakeFacingArray({0.0, 2.5}, {1.0, 0.0})});
+  return dep;
+}
+
+dsp::GridSpec RoomSpec() { return {0.0, 0.0, 6.0, 5.0, 0.1}; }
+
+/// A sharp peak at (c1, r1) and a spread blob (same max height) at (c2, r2).
+dsp::Grid2D SharpAndSpread(std::size_t c1, std::size_t r1, std::size_t c2,
+                           std::size_t r2, double spread_height = 1.0) {
+  dsp::Grid2D g(RoomSpec());
+  g.At(c1, r1) = 1.0;
+  for (int dx = -3; dx <= 3; ++dx) {
+    for (int dy = -3; dy <= 3; ++dy) {
+      const auto c = static_cast<std::size_t>(static_cast<int>(c2) + dx);
+      const auto r = static_cast<std::size_t>(static_cast<int>(r2) + dy);
+      g.At(c, r) = spread_height * (dx == 0 && dy == 0 ? 1.0 : 0.8);
+    }
+  }
+  return g;
+}
+
+TEST(SelectLocation, PrefersSharpPeakViaEntropy) {
+  // Both candidates at roughly equal distance from the anchors and equal
+  // height: the entropy term must pick the sharp one.
+  const Deployment dep = TwoAnchorDeployment();
+  const dsp::Grid2D g = SharpAndSpread(20, 30, 40, 30);
+  ScoringConfig config;
+  config.a = 0.0;   // isolate the entropy term
+  config.b = 0.5;
+  const Selection sel = SelectLocation(g, dep, config);
+  EXPECT_NEAR(sel.position.x, 2.0, 1e-9);
+  EXPECT_NEAR(sel.position.y, 3.0, 1e-9);
+  ASSERT_GE(sel.peaks.size(), 2u);
+  // The sharp peak has lower entropy.
+  EXPECT_LT(sel.peaks.front().entropy, sel.peaks.back().entropy);
+}
+
+TEST(SelectLocation, DistanceTermPrefersNearPeak) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(10, 5) = 0.9;   // (1.0, 0.5): close to both anchors
+  g.At(55, 45) = 1.0;  // (5.5, 4.5): far corner, slightly stronger
+  ScoringConfig config;
+  config.a = 0.5;
+  config.b = 0.0;
+  config.mode = SelectionMode::kBlocScore;
+  const Selection sel = SelectLocation(g, dep, config);
+  EXPECT_NEAR(sel.position.x, 1.0, 1e-9);
+  EXPECT_NEAR(sel.position.y, 0.5, 1e-9);
+}
+
+TEST(SelectLocation, ShortestDistanceModeIgnoresLikelihood) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(10, 5) = 0.3;   // near but weak
+  g.At(55, 45) = 1.0;  // far but strong
+  ScoringConfig config;
+  config.mode = SelectionMode::kShortestDistance;
+  const Selection sel = SelectLocation(g, dep, config);
+  EXPECT_NEAR(sel.position.x, 1.0, 1e-9);
+}
+
+TEST(SelectLocation, MaxLikelihoodModePicksStrongest) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(10, 5) = 0.9;
+  g.At(55, 45) = 1.0;
+  ScoringConfig config;
+  config.mode = SelectionMode::kMaxLikelihood;
+  const Selection sel = SelectLocation(g, dep, config);
+  EXPECT_NEAR(sel.position.x, 5.5, 1e-9);
+  EXPECT_NEAR(sel.position.y, 4.5, 1e-9);
+}
+
+TEST(SelectLocation, FallsBackOnFlatMap) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec(), 1.0);  // perfectly flat: no local maxima
+  ScoringConfig config;
+  const Selection sel = SelectLocation(g, dep, config);
+  EXPECT_GE(sel.peaks.size(), 1u);  // fallback global max
+}
+
+TEST(SelectLocation, PeaksSortedByScore) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(10, 10) = 1.0;
+  g.At(30, 30) = 0.8;
+  g.At(50, 40) = 0.6;
+  ScoringConfig config;
+  const Selection sel = SelectLocation(g, dep, config);
+  for (std::size_t i = 1; i < sel.peaks.size(); ++i) {
+    EXPECT_GE(sel.peaks[i - 1].score, sel.peaks[i].score);
+  }
+  EXPECT_DOUBLE_EQ(sel.position.x, sel.peaks.front().peak.x);
+}
+
+TEST(SelectLocation, SumDistanceUsesAllAnchors) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(30, 25) = 1.0;  // (3.0, 2.5)
+  ScoringConfig config;
+  const Selection sel = SelectLocation(g, dep, config);
+  const double d1 =
+      geom::Distance({3.0, 2.5}, dep.anchors[0].geometry.Centroid());
+  const double d2 =
+      geom::Distance({3.0, 2.5}, dep.anchors[1].geometry.Centroid());
+  EXPECT_NEAR(sel.peaks.front().sum_distance, d1 + d2, 1e-9);
+}
+
+TEST(SelectLocation, PaperWeightsScoreFormula) {
+  const Deployment dep = TwoAnchorDeployment();
+  dsp::Grid2D g(RoomSpec());
+  g.At(30, 25) = 2.0;
+  ScoringConfig config;  // a = 0.1, b = 0.05 defaults
+  const Selection sel = SelectLocation(g, dep, config);
+  const ScoredPeak& p = sel.peaks.front();
+  EXPECT_NEAR(p.score,
+              p.peak.value *
+                  std::exp(-config.b * p.entropy - config.a * p.sum_distance),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace bloc::core

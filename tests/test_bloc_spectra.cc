@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "anchor/array.h"
+#include "bloc/spectra.h"
+#include "dsp/complex_ops.h"
+
+namespace bloc::core {
+namespace {
+
+using dsp::cplx;
+
+std::vector<double> BleBandFreqs(std::size_t count = 37) {
+  std::vector<double> freqs;
+  for (std::size_t k = 0; k < count; ++k) {
+    freqs.push_back(2.404e9 + 2.0e6 * static_cast<double>(k));
+  }
+  return freqs;
+}
+
+/// Ideal single-path corrected channels for a tag at `tag` (Eq. 14).
+AnchorCorrected IdealAlpha(const anchor::ArrayGeometry& geometry,
+                           const geom::Vec2& master_ref, double d_i0,
+                           const geom::Vec2& tag,
+                           const std::vector<double>& freqs) {
+  AnchorCorrected ac;
+  ac.anchor_id = 2;
+  ac.is_master = false;
+  const double d_ref = geom::Distance(tag, master_ref);
+  for (std::size_t j = 0; j < geometry.num_antennas; ++j) {
+    dsp::CVec alpha;
+    const double d = geom::Distance(tag, geometry.AntennaPosition(j));
+    for (double f : freqs) {
+      alpha.push_back(dsp::Rotor(-dsp::kTwoPi * f *
+                                 (d - d_ref - d_i0) / dsp::kSpeedOfLight));
+    }
+    ac.alpha.push_back(std::move(alpha));
+  }
+  return ac;
+}
+
+struct Scene {
+  anchor::ArrayGeometry geometry;
+  /// Re-points `input` at this instance's own storage; must be called after
+  /// any copy/move of the Scene (MakeScene returns by value).
+  void Rebind() {
+    input.channels = &channels;
+    input.band_freqs_hz = freqs;
+  }
+  geom::Vec2 master_ref;
+  double d_i0;
+  std::vector<double> freqs;
+  AnchorCorrected channels;
+  SpectraInput input;
+  dsp::GridSpec grid;
+};
+
+Scene MakeScene(const geom::Vec2& tag) {
+  Scene s;
+  s.geometry = anchor::MakeFacingArray({3.0, 0.0}, {0.0, 1.0});
+  s.master_ref = {0.0, 2.5};
+  s.d_i0 = geom::Distance(s.geometry.AntennaPosition(0), s.master_ref);
+  s.freqs = BleBandFreqs();
+  s.channels = IdealAlpha(s.geometry, s.master_ref, s.d_i0, tag, s.freqs);
+  s.input.channels = &s.channels;
+  s.input.geometry = s.geometry;
+  s.input.master_ref_antenna = s.master_ref;
+  s.input.master_ref_distance = s.d_i0;
+  s.input.band_freqs_hz = s.freqs;
+  s.grid = {0.0, 0.0, 6.0, 5.0, 0.05};
+  return s;
+}
+
+TEST(JointLikelihoodMap, PeaksAtTrueLocation) {
+  const geom::Vec2 tag{2.2, 3.1};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  const dsp::Grid2D map = JointLikelihoodMap(s.input, s.grid);
+  const auto cell = map.ArgMax();
+  EXPECT_NEAR(map.XOf(cell.col), tag.x, 0.15);
+  EXPECT_NEAR(map.YOf(cell.row), tag.y, 0.15);
+  // Peak value is the fully coherent sum: J antennas x K bands.
+  EXPECT_NEAR(map.At(cell.col, cell.row), 4.0 * 37.0, 4.0 * 37.0 * 0.05);
+}
+
+TEST(JointLikelihoodMap, MaxAntennasLimitsCoherence) {
+  Scene s = MakeScene({2.2, 3.1});
+  s.Rebind();
+  s.input.max_antennas = 2;
+  const dsp::Grid2D map = JointLikelihoodMap(s.input, s.grid);
+  EXPECT_NEAR(map.Max(), 2.0 * 37.0, 2.0 * 37.0 * 0.05);
+}
+
+TEST(JointLikelihoodMap, HandlesBandGaps) {
+  // Every 4th channel only (Fig. 11): the peak must stay at the truth.
+  const geom::Vec2 tag{4.0, 2.0};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  std::vector<double> gappy;
+  AnchorCorrected thinned = s.channels;
+  for (auto& per_ant : thinned.alpha) {
+    dsp::CVec kept;
+    for (std::size_t k = 0; k < s.freqs.size(); k += 4) {
+      kept.push_back(per_ant[k]);
+    }
+    per_ant = kept;
+  }
+  for (std::size_t k = 0; k < s.freqs.size(); k += 4) {
+    gappy.push_back(s.freqs[k]);
+  }
+  s.input.channels = &thinned;
+  s.input.band_freqs_hz = gappy;
+  const dsp::Grid2D map = JointLikelihoodMap(s.input, s.grid);
+  const auto cell = map.ArgMax();
+  EXPECT_NEAR(map.XOf(cell.col), tag.x, 0.2);
+  EXPECT_NEAR(map.YOf(cell.row), tag.y, 0.2);
+}
+
+TEST(JointLikelihoodMap, ThrowsWithoutBands) {
+  Scene s = MakeScene({1, 1});
+  s.Rebind();
+  s.input.band_freqs_hz = {};
+  EXPECT_THROW(JointLikelihoodMap(s.input, s.grid), std::invalid_argument);
+}
+
+TEST(AngleOnlyMap, RidgeAlongTrueBearing) {
+  const geom::Vec2 tag{2.0, 3.0};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  const dsp::Grid2D map = AngleOnlyMap(s.input, s.grid);
+  // The max cell must lie near the ray from the array through the tag.
+  const auto cell = map.ArgMax();
+  const geom::Vec2 origin = s.geometry.AntennaPosition(0);
+  const geom::Vec2 to_tag = (tag - origin).Normalized();
+  const geom::Vec2 to_peak =
+      (geom::Vec2{map.XOf(cell.col), map.YOf(cell.row)} - origin)
+          .Normalized();
+  EXPECT_GT(to_tag.Dot(to_peak), 0.99);
+}
+
+TEST(AngleOnlyMap, TagOnBearingScoresNearMax) {
+  const geom::Vec2 tag{2.0, 3.0};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  const dsp::Grid2D map = AngleOnlyMap(s.input, s.grid);
+  // Value at the true position ~ the global max (the ridge passes there).
+  const auto col = static_cast<std::size_t>((tag.x - 0.0) / 0.05);
+  const auto row = static_cast<std::size_t>((tag.y - 0.0) / 0.05);
+  EXPECT_GT(map.At(col, row), 0.9 * map.Max());
+}
+
+TEST(DistanceOnlyMap, HyperbolaThroughTruth) {
+  const geom::Vec2 tag{4.2, 2.6};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  const dsp::Grid2D map = DistanceOnlyMap(s.input, s.grid);
+  const auto col = static_cast<std::size_t>(tag.x / 0.05);
+  const auto row = static_cast<std::size_t>(tag.y / 0.05);
+  EXPECT_GT(map.At(col, row), 0.85 * map.Max());
+  // And a point with a very different relative distance scores low.
+  const auto far_col = static_cast<std::size_t>(0.4 / 0.05);
+  const auto far_row = static_cast<std::size_t>(0.4 / 0.05);
+  // Sidelobes of the 37-band comb keep off-hyperbola cells below
+  // ~80% of the ridge.
+  EXPECT_LT(map.At(far_col, far_row), 0.8 * map.Max());
+}
+
+TEST(AngleSpectrum, PeaksAtSteeringMatch) {
+  // Channels with phase e^{-j 2 pi j l sin(theta0) f / c} peak at theta0.
+  const double spacing = 0.0614;
+  const double f = 2.44e9;
+  const double theta0 = 0.4;  // rad
+  dsp::CVec per_antenna;
+  for (int j = 0; j < 4; ++j) {
+    per_antenna.push_back(dsp::Rotor(-dsp::kTwoPi * spacing * j *
+                                     std::sin(theta0) * f /
+                                     dsp::kSpeedOfLight));
+  }
+  dsp::RVec thetas;
+  for (int i = -90; i <= 90; ++i) thetas.push_back(i * dsp::kPi / 180.0);
+  const dsp::RVec spectrum =
+      AngleSpectrum(per_antenna, f, spacing, thetas);
+  const auto it = std::max_element(spectrum.begin(), spectrum.end());
+  const double peak_theta =
+      thetas[static_cast<std::size_t>(it - spectrum.begin())];
+  EXPECT_NEAR(peak_theta, theta0, 0.05);
+  EXPECT_NEAR(*it, 4.0, 1e-3);  // coherent up to the 1-deg theta grid
+}
+
+class JointMapPositionSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(JointMapPositionSweep, PeakTracksTag) {
+  const geom::Vec2 tag{GetParam().first, GetParam().second};
+  Scene s = MakeScene(tag);
+  s.Rebind();
+  const dsp::Grid2D map = JointLikelihoodMap(s.input, s.grid);
+  const auto cell = map.ArgMax();
+  const double err = geom::Distance(
+      {map.XOf(cell.col), map.YOf(cell.row)}, tag);
+  EXPECT_LT(err, 0.25) << "tag at " << tag.x << "," << tag.y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, JointMapPositionSweep,
+    ::testing::Values(std::pair{1.0, 1.0}, std::pair{5.0, 4.0},
+                      std::pair{3.0, 2.5}, std::pair{0.8, 4.2},
+                      std::pair{5.2, 0.8}, std::pair{2.4, 4.6}));
+
+}  // namespace
+}  // namespace bloc::core

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "channel/hardware.h"
+#include "channel/noise.h"
+#include "channel/pathset.h"
+#include "channel/propagation.h"
+#include "dsp/complex_ops.h"
+
+namespace bloc::chan {
+namespace {
+
+using dsp::cplx;
+using dsp::kSpeedOfLight;
+using dsp::kTwoPi;
+using geom::Vec2;
+
+TEST(PathSet, SinglePathPhaseMatchesModel) {
+  PathSet ps;
+  ps.paths.push_back({10.0, 0.1, PathKind::kDirect, -1});
+  const double f = 2.44e9;
+  const cplx h = ps.Evaluate(f);
+  EXPECT_NEAR(std::abs(h), 0.1, 1e-12);
+  EXPECT_NEAR(std::arg(h),
+              dsp::WrapPhase(-kTwoPi * f * 10.0 / kSpeedOfLight), 1e-9);
+}
+
+TEST(PathSet, EvaluateCombMatchesPointwise) {
+  PathSet ps;
+  ps.paths.push_back({3.7, 0.3, PathKind::kDirect, -1});
+  ps.paths.push_back({9.1, -0.1, PathKind::kSpecular, 2});
+  ps.paths.push_back({14.6, 0.05, PathKind::kDiffuse, 5});
+  const double f0 = 2.404e9, step = 2.0e6;
+  const dsp::CVec comb = ps.EvaluateComb(f0, step, 37);
+  ASSERT_EQ(comb.size(), 37u);
+  for (std::size_t k = 0; k < 37; ++k) {
+    const cplx direct = ps.Evaluate(f0 + step * static_cast<double>(k));
+    EXPECT_NEAR(std::abs(comb[k] - direct), 0.0, 1e-9);
+  }
+}
+
+TEST(PathSet, ShortestAndStrongest) {
+  PathSet ps;
+  ps.paths.push_back({5.0, 0.1, PathKind::kDirect, -1});
+  ps.paths.push_back({3.0, -0.4, PathKind::kSpecular, 0});
+  EXPECT_DOUBLE_EQ(ps.ShortestLength(), 3.0);
+  EXPECT_DOUBLE_EQ(ps.Strongest()->amplitude, -0.4);
+  PathSet empty;
+  EXPECT_TRUE(std::isinf(empty.ShortestLength()));
+  EXPECT_EQ(empty.Strongest(), nullptr);
+}
+
+PropagationConfig DirectOnly() {
+  PropagationConfig cfg;
+  cfg.include_specular = false;
+  cfg.include_second_order = false;
+  cfg.include_diffuse = false;
+  return cfg;
+}
+
+TEST(PathSolver, FreeSpaceDirectPath) {
+  const geom::Room room(10.0, 8.0, 0.0, 0.0);
+  const PathSolver solver(room, DirectOnly(), 1);
+  const PathSet ps = solver.Solve({1, 1}, {4, 5});
+  ASSERT_EQ(ps.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(ps.paths[0].length_m, 5.0);
+  EXPECT_NEAR(ps.paths[0].amplitude, 1.0 / 5.0, 1e-12);
+  EXPECT_EQ(ps.paths[0].kind, PathKind::kDirect);
+}
+
+TEST(PathSolver, SpecularImageLength) {
+  // Reflection off the south wall (y=0): path length equals the distance
+  // to the mirror image of the transmitter.
+  geom::Room room(10.0, 8.0, 0.8, 0.0);
+  PropagationConfig cfg;
+  cfg.include_direct = false;
+  cfg.include_second_order = false;
+  cfg.include_diffuse = false;
+  const PathSolver solver(room, cfg, 1);
+  const Vec2 tx{2, 2}, rx{6, 1};
+  const PathSet ps = solver.Solve(tx, rx);
+  const double image_dist = geom::Distance({2, -2}, rx);
+  bool found = false;
+  for (const Path& p : ps.paths) {
+    if (std::abs(p.length_m - image_dist) < 1e-9) {
+      found = true;
+      EXPECT_LT(p.amplitude, 0.0);  // reflection flips phase
+      EXPECT_NEAR(std::abs(p.amplitude), 0.8 / image_dist, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PathSolver, ObstacleAttenuatesDirect) {
+  geom::Room room(10.0, 8.0, 0.0, 0.0);
+  geom::Obstacle o;
+  o.min_corner = {4, 0.5};
+  o.max_corner = {5, 7.5};
+  o.through_loss_db = 20.0;
+  o.reflectivity = 0.0;
+  o.scattering = 0.0;
+  room.AddObstacle(o);
+  const PathSolver solver(room, DirectOnly(), 1);
+  const PathSet blocked = solver.Solve({1, 4}, {9, 4});
+  const PathSet clear = solver.Solve({1, 0.2}, {9, 0.2});
+  ASSERT_EQ(clear.paths.size(), 1u);
+  // Blocked link crosses two faces: 40 dB weaker (may drop below the floor
+  // entirely, which is also acceptable behaviour).
+  if (!blocked.paths.empty()) {
+    EXPECT_LT(std::abs(blocked.paths[0].amplitude),
+              std::abs(clear.paths[0].amplitude) * 0.02);
+  }
+}
+
+TEST(PathSolver, DirectExcessLossApplies) {
+  const geom::Room room(10.0, 8.0, 0.0, 0.0);
+  PropagationConfig cfg = DirectOnly();
+  cfg.direct_excess_loss_db = 20.0;
+  const PathSolver solver(room, cfg, 1);
+  const PathSet ps = solver.Solve({1, 1}, {4, 5});
+  ASSERT_EQ(ps.paths.size(), 1u);
+  EXPECT_NEAR(ps.paths[0].amplitude, 0.1 / 5.0, 1e-9);
+}
+
+TEST(PathSolver, ShadowingIsDeterministicPerLink) {
+  const geom::Room room(10.0, 8.0, 0.0, 0.0);
+  PropagationConfig cfg = DirectOnly();
+  cfg.direct_shadowing_std_db = 8.0;
+  const PathSolver solver(room, cfg, 5);
+  const PathSet a = solver.Solve({1, 1}, {7, 3});
+  const PathSet b = solver.Solve({1, 1}, {7, 3});
+  ASSERT_EQ(a.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.paths[0].amplitude, b.paths[0].amplitude);
+  // A different link draws a different shadowing value (w.h.p.).
+  const PathSet c = solver.Solve({1, 1}, {7, 3.5});
+  const double ratio_ab = a.paths[0].amplitude * geom::Distance({1, 1}, {7, 3});
+  const double ratio_c =
+      c.paths[0].amplitude * geom::Distance({1, 1}, {7, 3.5});
+  EXPECT_NE(ratio_ab, ratio_c);
+}
+
+TEST(PathSolver, ScatterLayoutIsSeedStable) {
+  geom::Room room(10.0, 8.0, 0.6, 0.4);
+  PropagationConfig cfg;
+  const PathSolver s1(room, cfg, 42);
+  const PathSolver s2(room, cfg, 42);
+  const PathSet a = s1.Solve({2, 2}, {8, 6});
+  const PathSet b = s2.Solve({2, 2}, {8, 6});
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.paths[i].length_m, b.paths[i].length_m);
+    EXPECT_DOUBLE_EQ(a.paths[i].amplitude, b.paths[i].amplitude);
+  }
+}
+
+TEST(PathSolver, MultipathRichRoomHasManyPaths) {
+  geom::Room room(6.0, 5.0, 0.6, 0.3);
+  geom::Obstacle o;
+  o.min_corner = {2, 2};
+  o.max_corner = {3, 3};
+  room.AddObstacle(o);
+  PropagationConfig cfg;
+  const PathSolver solver(room, cfg, 3);
+  const PathSet ps = solver.Solve({1, 1}, {5, 4});
+  EXPECT_GT(ps.paths.size(), 10u);
+  // Direct path is the shortest.
+  EXPECT_NEAR(ps.ShortestLength(), 5.0, 1e-9);
+}
+
+TEST(Oscillator, RetuneChangesPhase) {
+  ImpairmentConfig cfg;
+  Oscillator osc(cfg, dsp::Rng(1), 4);
+  const double p1 = osc.phase();
+  osc.Retune();
+  EXPECT_NE(p1, osc.phase());
+  EXPECT_NEAR(std::abs(osc.PhaseRotor(0)), 1.0, 1e-12);
+}
+
+TEST(Oscillator, DisabledRetunePhaseIsZero) {
+  ImpairmentConfig cfg;
+  cfg.random_retune_phase = false;
+  Oscillator osc(cfg, dsp::Rng(1));
+  osc.Retune();
+  EXPECT_DOUBLE_EQ(osc.phase(), 0.0);
+}
+
+TEST(Oscillator, CfoScalesWithCarrier) {
+  ImpairmentConfig cfg;
+  cfg.cfo_ppm_std = 20.0;
+  Oscillator osc(cfg, dsp::Rng(3));
+  const double f1 = osc.CfoHz(2.4e9);
+  const double f2 = osc.CfoHz(4.8e9);
+  EXPECT_NEAR(f2, 2.0 * f1, 1e-9);
+}
+
+TEST(Oscillator, AntennaCalibrationErrorIsStatic) {
+  ImpairmentConfig cfg;
+  cfg.antenna_phase_error_std = 0.1;
+  Oscillator osc(cfg, dsp::Rng(4), 4);
+  const cplx r0 = osc.PhaseRotor(0);
+  const cplx r1 = osc.PhaseRotor(1);
+  EXPECT_NE(std::arg(r0), std::arg(r1));
+  osc.Retune();
+  // Relative phase between antennas is preserved across retunes.
+  const cplx s0 = osc.PhaseRotor(0);
+  const cplx s1 = osc.PhaseRotor(1);
+  EXPECT_NEAR(std::arg(r1 * std::conj(r0)), std::arg(s1 * std::conj(s0)),
+              1e-9);
+}
+
+TEST(Noise, VarianceMatchesConfig) {
+  NoiseConfig cfg;
+  cfg.snr_at_1m_db = 20.0;
+  EXPECT_NEAR(cfg.NoiseVariance(), 0.01, 1e-12);
+}
+
+TEST(Noise, AddedNoiseHasConfiguredPower) {
+  NoiseConfig cfg;
+  cfg.snr_at_1m_db = 10.0;
+  dsp::Rng rng(9);
+  double power = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    power += std::norm(AddMeasurementNoise({0, 0}, cfg, rng));
+  }
+  EXPECT_NEAR(power / n, 0.1, 0.01);
+}
+
+TEST(Noise, RssiTracksChannelPower) {
+  NoiseConfig cfg;
+  cfg.snr_at_1m_db = 60.0;  // nearly noiseless
+  dsp::Rng rng(10);
+  const double rssi_strong = RssiDb({1.0, 0.0}, cfg, rng);
+  const double rssi_weak = RssiDb({0.1, 0.0}, cfg, rng);
+  EXPECT_NEAR(rssi_strong, 0.0, 0.5);
+  EXPECT_NEAR(rssi_weak, -20.0, 0.5);
+}
+
+}  // namespace
+}  // namespace bloc::chan

@@ -1,0 +1,131 @@
+#include "dsp/complex_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bloc::dsp {
+namespace {
+
+TEST(WrapPhase, StaysInRange) {
+  for (double phi = -20.0; phi <= 20.0; phi += 0.37) {
+    const double w = WrapPhase(phi);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same angle modulo 2*pi.
+    EXPECT_NEAR(std::remainder(w - phi, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Rotor, UnitMagnitude) {
+  for (double phi : {0.0, 0.5, -2.0, 3.14, 100.0}) {
+    EXPECT_NEAR(std::abs(Rotor(phi)), 1.0, 1e-12);
+    EXPECT_NEAR(std::arg(Rotor(phi)), WrapPhase(phi), 1e-9);
+  }
+}
+
+TEST(Unwrap, RemovesJumps) {
+  // A steady ramp of 0.5 rad/sample wrapped into (-pi, pi].
+  RVec wrapped;
+  for (int i = 0; i < 50; ++i) wrapped.push_back(WrapPhase(0.5 * i));
+  const RVec unwrapped = Unwrapped(wrapped);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(unwrapped[static_cast<std::size_t>(i)], 0.5 * i, 1e-9);
+  }
+}
+
+TEST(Unwrap, EmptyAndSingleAreNoops) {
+  RVec empty;
+  UnwrapInPlace(empty);
+  EXPECT_TRUE(empty.empty());
+  RVec one = {2.0};
+  UnwrapInPlace(one);
+  EXPECT_DOUBLE_EQ(one[0], 2.0);
+}
+
+TEST(PhasesMagnitudes, Basic) {
+  const CVec xs = {{1, 0}, {0, 2}, {-3, 0}};
+  const RVec ph = Phases(xs);
+  const RVec mag = Magnitudes(xs);
+  EXPECT_NEAR(ph[0], 0.0, 1e-12);
+  EXPECT_NEAR(ph[1], kPi / 2, 1e-12);
+  EXPECT_NEAR(std::abs(ph[2]), kPi, 1e-12);
+  EXPECT_NEAR(mag[1], 2.0, 1e-12);
+  EXPECT_NEAR(mag[2], 3.0, 1e-12);
+}
+
+TEST(CircularMeanPhase, HandlesWrapAround) {
+  // Angles straddling +/-pi: arithmetic mean would be ~0, circular is pi.
+  const RVec phases = {kPi - 0.1, -kPi + 0.1};
+  EXPECT_NEAR(std::abs(CircularMeanPhase(phases)), kPi, 1e-9);
+}
+
+TEST(CircularMeanPhase, EmptyIsZero) {
+  EXPECT_EQ(CircularMeanPhase({}), 0.0);
+}
+
+TEST(MergeAmpPhase, AveragesAmplitudeAndPhaseSeparately) {
+  // Two samples: amp 1 and 3, phases 0.2 and 0.4.
+  const CVec samples = {Rotor(0.2), 3.0 * Rotor(0.4)};
+  const cplx merged = MergeAmpPhase(samples);
+  EXPECT_NEAR(std::abs(merged), 2.0, 1e-9);
+  EXPECT_NEAR(std::arg(merged), 0.3, 1e-9);
+}
+
+TEST(MergeAmpPhase, WrapSafePhaseAverage) {
+  const CVec samples = {Rotor(kPi - 0.05), Rotor(-kPi + 0.05)};
+  EXPECT_NEAR(std::abs(std::arg(MergeAmpPhase(samples))), kPi, 1e-6);
+}
+
+TEST(MergeAmpPhase, EmptyIsZero) {
+  EXPECT_EQ(MergeAmpPhase({}), (cplx{0, 0}));
+}
+
+TEST(FitLine, ExactLine) {
+  RVec xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-10);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.rms_residual, 0.0, 1e-10);
+}
+
+TEST(FitLine, ConstantXGivesMeanIntercept) {
+  const RVec xs = {1.0, 1.0, 1.0};
+  const RVec ys = {2.0, 4.0, 6.0};
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+}
+
+TEST(FitLine, RejectsMismatchedOrTiny) {
+  const RVec a = {1.0};
+  const RVec b = {1.0, 2.0};
+  EXPECT_THROW(FitLine(a, b), std::invalid_argument);
+  EXPECT_THROW(FitLine(a, a), std::invalid_argument);
+}
+
+TEST(DotConj, MatchesManualSum) {
+  const CVec a = {{1, 1}, {2, 0}};
+  const CVec b = {{0, 1}, {1, 1}};
+  const cplx expected = cplx{1, 1} * std::conj(cplx{0, 1}) +
+                        cplx{2, 0} * std::conj(cplx{1, 1});
+  EXPECT_NEAR(std::abs(DotConj(a, b) - expected), 0.0, 1e-12);
+}
+
+TEST(DotConj, SizeMismatchThrows) {
+  const CVec a = {{1, 0}};
+  const CVec b = {{1, 0}, {2, 0}};
+  EXPECT_THROW(DotConj(a, b), std::invalid_argument);
+}
+
+TEST(Power, SumsSquaredMagnitudes) {
+  const CVec xs = {{3, 4}, {0, 2}};
+  EXPECT_DOUBLE_EQ(Power(xs), 25.0 + 4.0);
+}
+
+}  // namespace
+}  // namespace bloc::dsp

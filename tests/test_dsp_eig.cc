@@ -1,0 +1,152 @@
+#include "dsp/eig.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/complex_ops.h"
+#include "dsp/rng.h"
+
+namespace bloc::dsp {
+namespace {
+
+CMatrix RandomHermitian(std::size_t n, Rng& rng) {
+  CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      if (r == c) {
+        a.At(r, c) = {rng.Gaussian(1.0), 0.0};
+      } else {
+        const cplx v = {rng.Gaussian(1.0), rng.Gaussian(1.0)};
+        a.At(r, c) = v;
+        a.At(c, r) = std::conj(v);
+      }
+    }
+  }
+  return a;
+}
+
+TEST(CMatrix, IdentityAndAdjoint) {
+  const CMatrix id = CMatrix::Identity(3);
+  EXPECT_EQ(id.At(0, 0), (cplx{1, 0}));
+  EXPECT_EQ(id.At(0, 1), (cplx{0, 0}));
+  CMatrix a(2, 2);
+  a.At(0, 1) = {1, 2};
+  const CMatrix ah = a.Adjoint();
+  EXPECT_EQ(ah.At(1, 0), (cplx{1, -2}));
+}
+
+TEST(CMatrix, MultiplyKnown) {
+  CMatrix a(2, 2);
+  a.At(0, 0) = {1, 0};
+  a.At(0, 1) = {0, 1};
+  CMatrix b(2, 2);
+  b.At(0, 0) = {2, 0};
+  b.At(1, 0) = {0, -1};
+  const CMatrix c = a.Multiply(b);
+  // c(0,0) = 1*2 + j*(-j) = 2 + 1 = 3.
+  EXPECT_NEAR(std::abs(c.At(0, 0) - cplx{3, 0}), 0.0, 1e-12);
+}
+
+TEST(CMatrix, MultiplyShapeMismatchThrows) {
+  CMatrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.Multiply(b), std::invalid_argument);
+}
+
+TEST(HermitianEig, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a.At(0, 0) = {1, 0};
+  a.At(1, 1) = {5, 0};
+  a.At(2, 2) = {3, 0};
+  const EigResult res = HermitianEig(a);
+  ASSERT_EQ(res.values.size(), 3u);
+  EXPECT_NEAR(res.values[0], 5.0, 1e-10);  // sorted descending
+  EXPECT_NEAR(res.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[2], 1.0, 1e-10);
+}
+
+TEST(HermitianEig, Known2x2) {
+  // [[2, j],[-j, 2]] has eigenvalues 3 and 1.
+  CMatrix a(2, 2);
+  a.At(0, 0) = {2, 0};
+  a.At(0, 1) = {0, 1};
+  a.At(1, 0) = {0, -1};
+  a.At(1, 1) = {2, 0};
+  const EigResult res = HermitianEig(a);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+}
+
+TEST(HermitianEig, NotSquareThrows) {
+  CMatrix a(2, 3);
+  EXPECT_THROW(HermitianEig(a), std::invalid_argument);
+}
+
+TEST(HermitianEig, EigenvectorsOrthonormal) {
+  Rng rng(42);
+  const CMatrix a = RandomHermitian(5, rng);
+  const EigResult res = HermitianEig(a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      cplx dot{0, 0};
+      for (std::size_t r = 0; r < 5; ++r) {
+        dot += res.vectors.At(r, i) * std::conj(res.vectors.At(r, j));
+      }
+      EXPECT_NEAR(std::abs(dot), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(HermitianEig, ReconstructsMatrix) {
+  Rng rng(7);
+  const CMatrix a = RandomHermitian(4, rng);
+  const EigResult res = HermitianEig(a);
+  // A ?= V diag(lambda) V^H
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      cplx sum{0, 0};
+      for (std::size_t k = 0; k < 4; ++k) {
+        sum += res.values[k] * res.vectors.At(r, k) *
+               std::conj(res.vectors.At(c, k));
+      }
+      EXPECT_NEAR(std::abs(sum - a.At(r, c)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(HermitianEig, Rank1FromOuterProduct) {
+  // Covariance of a single snapshot has one nonzero eigenvalue = |x|^2 and
+  // its eigenvector is x / |x| — the MUSIC building block.
+  const CVec x = {{1, 0}, {0, 2}, {1, -1}};
+  CMatrix cov(3, 3);
+  AccumulateOuter(cov, x);
+  const EigResult res = HermitianEig(cov);
+  const double power = Power(x);
+  EXPECT_NEAR(res.values[0], power, 1e-9);
+  EXPECT_NEAR(res.values[1], 0.0, 1e-9);
+  EXPECT_NEAR(res.values[2], 0.0, 1e-9);
+}
+
+TEST(AccumulateOuter, ShapeMismatchThrows) {
+  CMatrix m(2, 2);
+  const CVec x = {{1, 0}, {2, 0}, {3, 0}};
+  EXPECT_THROW(AccumulateOuter(m, x), std::invalid_argument);
+}
+
+class EigSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigSizeTest, TraceAndOrthogonalityAtSize) {
+  Rng rng(GetParam() * 1000 + 13);
+  const std::size_t n = GetParam();
+  const CMatrix a = RandomHermitian(n, rng);
+  const EigResult res = HermitianEig(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a.At(i, i).real();
+  double eig_sum = 0.0;
+  for (double v : res.values) eig_sum += v;
+  EXPECT_NEAR(eig_sum, trace, 1e-8 * std::max(1.0, std::abs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace bloc::dsp

@@ -1,0 +1,139 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/complex_ops.h"
+
+namespace bloc::dsp {
+namespace {
+
+TEST(Fft, ImpulseIsFlat) {
+  CVec x(8, cplx{0, 0});
+  x[0] = {1, 0};
+  Fft(x);
+  for (const cplx& v : x) {
+    EXPECT_NEAR(std::abs(v - cplx{1, 0}), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcConcentratesInBinZero) {
+  CVec x(16, cplx{1, 0});
+  Fft(x);
+  EXPECT_NEAR(std::abs(x[0]), 16.0, 1e-9);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = Rotor(kTwoPi * tone * i / n);
+  }
+  Fft(x);
+  EXPECT_NEAR(std::abs(x[tone]), static_cast<double>(n), 1e-8);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != tone) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, RoundTripRestoresSignal) {
+  CVec x;
+  for (int i = 0; i < 32; ++i) {
+    x.push_back({std::sin(0.3 * i), std::cos(0.17 * i)});
+  }
+  CVec y = x;
+  Fft(y, false);
+  Fft(y, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  CVec x;
+  for (int i = 0; i < 128; ++i) x.push_back({std::sin(0.1 * i), 0.0});
+  const double time_power = Power(x);
+  CVec y = x;
+  Fft(y);
+  EXPECT_NEAR(Power(y) / 128.0, time_power, 1e-8);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CVec x(12);
+  EXPECT_THROW(Fft(x), std::invalid_argument);
+}
+
+TEST(Fft, EmptyIsNoop) {
+  CVec x;
+  EXPECT_NO_THROW(Fft(x));
+}
+
+TEST(NextPow2, Basics) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(BinFrequency, BasebandConvention) {
+  EXPECT_DOUBLE_EQ(BinFrequency(0, 8, 8000.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinFrequency(1, 8, 8000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(BinFrequency(7, 8, 8000.0), -1000.0);
+  EXPECT_DOUBLE_EQ(BinFrequency(4, 8, 8000.0), -4000.0);
+}
+
+TEST(ApplyTransferFunction, FlatGainScales) {
+  CVec x;
+  for (int i = 0; i < 100; ++i) x.push_back(Rotor(0.05 * i));
+  const cplx gain{0.5, -0.5};
+  const CVec y =
+      ApplyTransferFunction(x, 8.0e6, [&](double) { return gain; });
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i] * gain), 0.0, 1e-9);
+  }
+}
+
+TEST(ApplyTransferFunction, ToneSeesItsOwnGain) {
+  // A tone at +1 MHz through H(f) = 1 for f>0, 0 for f<=0 passes intact.
+  const double fs = 8.0e6;
+  CVec x;
+  for (int i = 0; i < 256; ++i) {
+    x.push_back(Rotor(kTwoPi * 1.0e6 * i / fs));
+  }
+  const CVec y = ApplyTransferFunction(
+      x, fs, [](double f) { return f > 0 ? cplx{1, 0} : cplx{0, 0}; });
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-6);
+  }
+}
+
+TEST(ApplyTransferFunction, EmptyInput) {
+  EXPECT_TRUE(
+      ApplyTransferFunction({}, 8.0e6, [](double) { return cplx{1, 0}; })
+          .empty());
+}
+
+class FftSizesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizesTest, RoundTripAtSize) {
+  const std::size_t n = GetParam();
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Rotor(0.7 * i) * (1.0 + 0.1 * i);
+  CVec y = x;
+  Fft(y, false);
+  Fft(y, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-7 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizesTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace bloc::dsp

@@ -1,0 +1,105 @@
+#include "dsp/fir.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bloc::dsp {
+namespace {
+
+TEST(Convolve, IdentityTap) {
+  const RVec x = {1.0, 2.0, 3.0};
+  const RVec taps = {1.0};
+  EXPECT_EQ(ConvolveSame(x, taps), x);
+  EXPECT_EQ(ConvolveFull(x, taps), x);
+}
+
+TEST(Convolve, FullLength) {
+  const RVec x = {1.0, 1.0};
+  const RVec taps = {1.0, 1.0, 1.0};
+  const RVec full = ConvolveFull(x, taps);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_DOUBLE_EQ(full[0], 1.0);
+  EXPECT_DOUBLE_EQ(full[1], 2.0);
+  EXPECT_DOUBLE_EQ(full[2], 2.0);
+  EXPECT_DOUBLE_EQ(full[3], 1.0);
+}
+
+TEST(Convolve, SameIsCenteredSliceOfFull) {
+  const RVec x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const RVec taps = {0.25, 0.5, 0.25};
+  const RVec same = ConvolveSame(x, taps);
+  const RVec full = ConvolveFull(x, taps);
+  ASSERT_EQ(same.size(), x.size());
+  for (std::size_t i = 0; i < same.size(); ++i) {
+    EXPECT_NEAR(same[i], full[i + 1], 1e-12);
+  }
+}
+
+TEST(Convolve, EmptyTapsThrow) {
+  const RVec x = {1.0};
+  EXPECT_THROW(ConvolveSame(x, {}), std::invalid_argument);
+  EXPECT_THROW(ConvolveFull(x, {}), std::invalid_argument);
+}
+
+TEST(GaussianTaps, UnitSumAndSymmetry) {
+  const RVec taps = GaussianTaps(0.5, 8, 3);
+  const double sum = std::accumulate(taps.begin(), taps.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  ASSERT_EQ(taps.size() % 2, 1u);  // odd length, symmetric
+  for (std::size_t i = 0; i < taps.size() / 2; ++i) {
+    EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-12);
+  }
+  // Peak at the centre.
+  EXPECT_GE(taps[taps.size() / 2], taps[0]);
+}
+
+TEST(GaussianTaps, SmallerBtIsWider) {
+  // Lower BT => more smoothing => centre tap carries less weight.
+  const RVec tight = GaussianTaps(1.0, 8, 3);
+  const RVec wide = GaussianTaps(0.3, 8, 3);
+  EXPECT_GT(tight[tight.size() / 2], wide[wide.size() / 2]);
+}
+
+TEST(GaussianTaps, RejectsBadParameters) {
+  EXPECT_THROW(GaussianTaps(0.0, 8, 3), std::invalid_argument);
+  EXPECT_THROW(GaussianTaps(0.5, 0, 3), std::invalid_argument);
+  EXPECT_THROW(GaussianTaps(0.5, 8, 0), std::invalid_argument);
+}
+
+TEST(GaussianTaps, ConstantInputPassesAtUnitGain) {
+  const RVec taps = GaussianTaps(0.5, 8, 3);
+  const RVec ones(100, 1.0);
+  const RVec out = ConvolveSame(ones, taps);
+  // Interior samples (away from edges) stay at 1.0 — this is what makes the
+  // GFSK frequency plateaus flat during long bit runs.
+  for (std::size_t i = 20; i < 80; ++i) {
+    EXPECT_NEAR(out[i], 1.0, 1e-9);
+  }
+}
+
+TEST(FirFilter, MatchesConvolveFullPrefix) {
+  const RVec taps = {0.5, 0.25, 0.25};
+  const RVec x = {1.0, -2.0, 3.0, 0.5, -1.0};
+  FirFilter filter{taps};
+  const RVec streamed = filter.Filter(x);
+  const RVec full = ConvolveFull(x, taps);
+  ASSERT_EQ(streamed.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(streamed[i], full[i], 1e-12);
+  }
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter filter{RVec{1.0, 1.0}};
+  filter.Step(5.0);
+  filter.Reset();
+  EXPECT_DOUBLE_EQ(filter.Step(1.0), 1.0);  // no residue of the 5.0
+}
+
+TEST(FirFilter, EmptyTapsThrow) {
+  EXPECT_THROW(FirFilter{RVec{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bloc::dsp

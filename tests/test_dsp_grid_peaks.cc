@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "dsp/grid2d.h"
+#include "dsp/peaks.h"
+
+namespace bloc::dsp {
+namespace {
+
+GridSpec UnitSpec() {
+  GridSpec spec;
+  spec.x_min = 0.0;
+  spec.y_min = 0.0;
+  spec.x_max = 1.0;
+  spec.y_max = 1.0;
+  spec.resolution = 0.1;
+  return spec;
+}
+
+TEST(GridSpec, Dimensions) {
+  const GridSpec spec = UnitSpec();
+  EXPECT_EQ(spec.Cols(), 11u);
+  EXPECT_EQ(spec.Rows(), 11u);
+  EXPECT_DOUBLE_EQ(spec.XOf(0), 0.0);
+  EXPECT_NEAR(spec.XOf(10), 1.0, 1e-12);
+  EXPECT_TRUE(spec.Valid());
+}
+
+TEST(GridSpec, InvalidSpecs) {
+  GridSpec s = UnitSpec();
+  s.resolution = 0.0;
+  EXPECT_FALSE(s.Valid());
+  s = UnitSpec();
+  s.x_max = -1.0;
+  EXPECT_FALSE(s.Valid());
+}
+
+TEST(Grid2D, AtReadsAndWrites) {
+  Grid2D g(UnitSpec());
+  g.At(3, 4) = 7.5;
+  EXPECT_DOUBLE_EQ(g.At(3, 4), 7.5);
+  EXPECT_DOUBLE_EQ(g.At(4, 3), 0.0);
+}
+
+TEST(Grid2D, ArgMaxAndMax) {
+  Grid2D g(UnitSpec());
+  g.At(2, 9) = 3.0;
+  g.At(5, 5) = 9.0;
+  const auto cell = g.ArgMax();
+  EXPECT_EQ(cell.col, 5u);
+  EXPECT_EQ(cell.row, 5u);
+  EXPECT_DOUBLE_EQ(g.Max(), 9.0);
+}
+
+TEST(Grid2D, NormalizePeakAndSum) {
+  Grid2D g(UnitSpec());
+  g.At(1, 1) = 2.0;
+  g.At(2, 2) = 4.0;
+  g.NormalizePeak();
+  EXPECT_DOUBLE_EQ(g.Max(), 1.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 0.5);
+  g.NormalizeSum();
+  EXPECT_NEAR(g.Sum(), 1.0, 1e-12);
+}
+
+TEST(Grid2D, NormalizeZeroGridIsNoop) {
+  Grid2D g(UnitSpec());
+  EXPECT_NO_THROW(g.NormalizePeak());
+  EXPECT_NO_THROW(g.NormalizeSum());
+  EXPECT_DOUBLE_EQ(g.Sum(), 0.0);
+}
+
+TEST(Grid2D, AddRequiresSameShape) {
+  Grid2D a(UnitSpec());
+  GridSpec other = UnitSpec();
+  other.x_max = 2.0;
+  Grid2D b(other);
+  EXPECT_THROW(a.Add(b), std::invalid_argument);
+  Grid2D c(UnitSpec(), 1.0);
+  a.Add(c);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 1.0);
+}
+
+TEST(Grid2D, InvalidSpecThrows) {
+  GridSpec bad = UnitSpec();
+  bad.resolution = -1;
+  EXPECT_THROW(Grid2D{bad}, std::invalid_argument);
+}
+
+TEST(FindPeaks, FindsIsolatedMaxima) {
+  GridSpec spec = UnitSpec();
+  spec.x_max = 2.0;
+  spec.y_max = 2.0;
+  Grid2D g(spec);
+  g.At(3, 3) = 1.0;
+  g.At(15, 15) = 0.8;
+  PeakOptions opts;
+  opts.min_relative_height = 0.5;
+  const auto peaks = FindPeaks(g, opts);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].col, 3u);       // strongest first
+  EXPECT_DOUBLE_EQ(peaks[0].value, 1.0);
+  EXPECT_EQ(peaks[1].col, 15u);
+  EXPECT_NEAR(peaks[0].x, 0.3, 1e-12);
+}
+
+TEST(FindPeaks, SuppressesShouldersWithinRadius) {
+  Grid2D g(UnitSpec());
+  g.At(5, 5) = 1.0;
+  g.At(6, 5) = 0.9;  // shoulder of the same blob
+  PeakOptions opts;
+  opts.neighborhood_radius = 2;
+  const auto peaks = FindPeaks(g, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].col, 5u);
+}
+
+TEST(FindPeaks, HonorsFloorAndMaxPeaks) {
+  Grid2D g(UnitSpec());
+  g.At(1, 1) = 1.0;
+  g.At(5, 5) = 0.1;  // below 20% floor
+  EXPECT_EQ(FindPeaks(g).size(), 1u);
+
+  Grid2D many(UnitSpec());
+  many.At(1, 1) = 1.0;
+  many.At(5, 5) = 0.9;
+  many.At(9, 9) = 0.8;
+  PeakOptions opts;
+  opts.max_peaks = 2;
+  EXPECT_EQ(FindPeaks(many, opts).size(), 2u);
+}
+
+TEST(FindPeaks, EmptyOnAllZero) {
+  Grid2D g(UnitSpec());
+  EXPECT_TRUE(FindPeaks(g).empty());
+}
+
+TEST(SpatialEntropy, SharpPeakLowerThanSpread) {
+  GridSpec spec;
+  spec.x_max = 3.0;
+  spec.y_max = 3.0;
+  spec.resolution = 0.1;
+  Grid2D g(spec);
+  // Sharp peak at (5,5): one hot cell.
+  g.At(5, 5) = 1.0;
+  // Spread blob around (20,20).
+  for (int dx = -3; dx <= 3; ++dx) {
+    for (int dy = -3; dy <= 3; ++dy) {
+      g.At(static_cast<std::size_t>(20 + dx),
+           static_cast<std::size_t>(20 + dy)) = 0.5;
+    }
+  }
+  const double sharp = SpatialEntropy(g, 5, 5, 3);
+  const double spread = SpatialEntropy(g, 20, 20, 3);
+  EXPECT_LT(sharp, spread);
+  EXPECT_NEAR(sharp, 0.0, 1e-12);  // all mass in one cell
+}
+
+TEST(SpatialEntropy, UniformWindowHitsMax) {
+  Grid2D g(UnitSpec(), 1.0);
+  const double h = SpatialEntropy(g, 5, 5, 3);
+  EXPECT_NEAR(h, MaxSpatialEntropy(3), 1e-9);
+}
+
+TEST(SpatialEntropy, EmptyWindowIsZero) {
+  Grid2D g(UnitSpec());
+  EXPECT_DOUBLE_EQ(SpatialEntropy(g, 5, 5, 3), 0.0);
+}
+
+TEST(SpatialEntropy, EdgeWindowsClip) {
+  Grid2D g(UnitSpec(), 1.0);
+  // At a corner the circular window has fewer cells => lower max entropy.
+  EXPECT_LT(SpatialEntropy(g, 0, 0, 3), MaxSpatialEntropy(3));
+  EXPECT_GT(SpatialEntropy(g, 0, 0, 3), 0.0);
+}
+
+TEST(MaxSpatialEntropy, CountsCircularCells) {
+  // radius 3 circular window in a 7x7 square = 29 cells.
+  EXPECT_NEAR(MaxSpatialEntropy(3), std::log(29.0), 1e-12);
+  EXPECT_DOUBLE_EQ(MaxSpatialEntropy(0), 0.0);
+}
+
+}  // namespace
+}  // namespace bloc::dsp

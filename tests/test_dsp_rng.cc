@@ -1,0 +1,118 @@
+#include "dsp/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bloc::dsp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1) == b.Uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(99);
+  Rng c1 = root.Fork("noise");
+  Rng c2 = Rng(99).Fork("noise");
+  EXPECT_DOUBLE_EQ(c1.Uniform(0, 1), c2.Uniform(0, 1));
+
+  Rng d1 = Rng(99).Fork("noise");
+  Rng d2 = Rng(99).Fork("positions");
+  EXPECT_NE(d1.Uniform(0, 1), d2.Uniform(0, 1));
+}
+
+TEST(Rng, ForkIgnoresParentConsumption) {
+  // Forking depends only on the root seed and the name, not on how many
+  // draws the parent made — this keeps components independent.
+  Rng a(5);
+  a.Uniform(0, 1);
+  a.Uniform(0, 1);
+  Rng b(5);
+  EXPECT_DOUBLE_EQ(a.Fork("x").Uniform(0, 1), b.Fork("x").Uniform(0, 1));
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.2);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(13);
+  double power = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) power += std::norm(rng.ComplexGaussian(0.5));
+  EXPECT_NEAR(power / n, 0.5, 0.03);
+}
+
+TEST(Rng, RandomRotorUnitMagnitudeUniformPhase) {
+  Rng rng(17);
+  cplx mean{0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const cplx r = rng.RandomRotor();
+    EXPECT_NEAR(std::abs(r), 1.0, 1e-12);
+    mean += r;
+  }
+  EXPECT_NEAR(std::abs(mean) / n, 0.0, 0.02);  // phases uniform
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(HashName, StableAndDistinct) {
+  EXPECT_EQ(HashName("abc"), HashName("abc"));
+  EXPECT_NE(HashName("abc"), HashName("abd"));
+  EXPECT_NE(HashName(""), HashName("a"));
+}
+
+}  // namespace
+}  // namespace bloc::dsp

@@ -1,0 +1,111 @@
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bloc::dsp {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceKnown) {
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(StdDev(xs), 1.0);
+}
+
+TEST(Stats, RmseKnown) {
+  const std::vector<double> errs = {3.0, 4.0};
+  EXPECT_NEAR(Rmse(errs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, RmseEmptyIsZero) { EXPECT_EQ(Rmse({}), 0.0); }
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {2.0, 7.0, 9.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 9.0);
+}
+
+TEST(Stats, QuantileThrowsOnEmpty) {
+  EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, CdfAtAndInverse) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Cdf cdf = MakeCdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.InverseAt(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.InverseAt(1.0), 4.0);
+}
+
+TEST(Stats, CdfIsSortedAndProbsMonotone) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0, 5.0, 2.0};
+  const Cdf cdf = MakeCdf(xs);
+  for (std::size_t i = 1; i < cdf.values.size(); ++i) {
+    EXPECT_LE(cdf.values[i - 1], cdf.values[i]);
+    EXPECT_LT(cdf.probs[i - 1], cdf.probs[i]);
+  }
+  EXPECT_DOUBLE_EQ(cdf.probs.back(), 1.0);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.6, 0.9, 5.0};
+  const auto h = Histogram(xs, 0.0, 1.0, 2);
+  EXPECT_EQ(h[0], 2u);  // -1 clamped in, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.6, 0.9, 5.0 clamped in
+}
+
+TEST(Stats, HistogramRejectsBadArgs) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(Histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(xs, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+// Quantiles of a linear ramp should interpolate exactly.
+class QuantileRampTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRampTest, MatchesClosedForm) {
+  std::vector<double> ramp;
+  for (int i = 0; i <= 100; ++i) ramp.push_back(static_cast<double>(i));
+  const double q = GetParam();
+  EXPECT_NEAR(Quantile(ramp, q), q * 100.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileRampTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.333, 0.5, 0.75,
+                                           0.9, 0.95, 1.0));
+
+}  // namespace
+}  // namespace bloc::dsp

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace bloc::eval {
+namespace {
+
+TEST(Metrics, ComputeStatsKnownValues) {
+  const std::vector<double> errors = {0.1, 0.2, 0.3, 0.4, 1.0};
+  const ErrorStats s = ComputeStats(errors);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 0.3);
+  EXPECT_DOUBLE_EQ(s.mean, 0.4);
+  EXPECT_NEAR(s.p90, 0.76, 1e-9);
+  EXPECT_GT(s.rmse, s.mean);  // outlier inflates RMSE above the mean
+}
+
+TEST(Metrics, ComputeStatsEmpty) {
+  const ErrorStats s = ComputeStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Metrics, LocalizationErrorIsEuclidean) {
+  EXPECT_DOUBLE_EQ(LocalizationError({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(RmseHeatmapTest, BinsAndRmse) {
+  dsp::GridSpec spec{0.0, 0.0, 4.0, 4.0, 1.0};
+  RmseHeatmap heatmap(spec);
+  heatmap.Add({1.0, 1.0}, 3.0);
+  heatmap.Add({1.0, 1.0}, 4.0);
+  heatmap.Add({3.0, 3.0}, 1.0);
+  const dsp::Grid2D rmse = heatmap.RmseGrid();
+  EXPECT_NEAR(rmse.At(1, 1), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rmse.At(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(rmse.At(0, 0), 0.0);  // empty bin
+  const dsp::Grid2D counts = heatmap.CountGrid();
+  EXPECT_DOUBLE_EQ(counts.At(1, 1), 2.0);
+}
+
+TEST(RmseHeatmapTest, ClampsOutOfRangeSamples) {
+  dsp::GridSpec spec{0.0, 0.0, 2.0, 2.0, 1.0};
+  RmseHeatmap heatmap(spec);
+  heatmap.Add({-5.0, 9.0}, 1.0);  // clamped into a corner bin
+  EXPECT_DOUBLE_EQ(heatmap.CountGrid().Sum(), 1.0);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(-1.0, 0), "-1");
+}
+
+TEST(Report, PrintTableAligns) {
+  std::ostringstream os;
+  PrintTable(os, {"name", "value"}, {{"alpha", "1"}, {"b", "22"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);  // header rule
+}
+
+TEST(Report, PrintCdfPlotAndSummary) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i * 0.05);
+  const std::vector<NamedCdf> series = {{"test", dsp::MakeCdf(samples)}};
+  std::ostringstream plot;
+  PrintCdfPlot(plot, series, 6.0, 32);
+  EXPECT_NE(plot.str().find("test"), std::string::npos);
+  EXPECT_NE(plot.str().find('#'), std::string::npos);  // saturated tail
+
+  std::ostringstream summary;
+  PrintCdfSummary(summary, series);
+  EXPECT_NE(summary.str().find("2.500"), std::string::npos);  // median
+}
+
+TEST(Report, PrintHeatmapProducesRows) {
+  dsp::GridSpec spec{0.0, 0.0, 2.0, 1.0, 0.1};
+  dsp::Grid2D g(spec);
+  g.At(5, 5) = 1.0;
+  std::ostringstream os;
+  PrintHeatmap(os, g);
+  // One text row per grid row.
+  std::size_t rows = 0;
+  for (char c : os.str()) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, g.rows());
+  EXPECT_NE(os.str().find('@'), std::string::npos);  // the hot cell
+}
+
+TEST(Report, WriteCsvRoundTrip) {
+  const std::string path = "/tmp/bloc_test_eval.csv";
+  WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteCsvEmptyPathIsNoop) {
+  EXPECT_NO_THROW(WriteCsv("", {"a"}, {{"1"}}));
+}
+
+}  // namespace
+}  // namespace bloc::eval

@@ -1,0 +1,89 @@
+#include "baseline/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "sim/experiment.h"
+
+namespace bloc::baseline {
+namespace {
+
+const sim::Dataset& Survey() {
+  static const sim::Dataset ds = [] {
+    sim::DatasetOptions options;
+    options.locations = 60;
+    options.position_seed = 501;
+    return sim::GenerateDataset(sim::LosClean(41), options);
+  }();
+  return ds;
+}
+
+RssiFingerprint TrainedModel() {
+  RssiFingerprint model;
+  for (std::size_t i = 0; i < Survey().rounds.size(); ++i) {
+    model.Train(Survey().truths[i], Survey().rounds[i]);
+  }
+  return model;
+}
+
+TEST(Fingerprint, RejectsZeroK) {
+  FingerprintConfig config;
+  config.k = 0;
+  EXPECT_THROW(RssiFingerprint{config}, std::invalid_argument);
+}
+
+TEST(Fingerprint, UntrainedThrows) {
+  const RssiFingerprint model;
+  EXPECT_THROW(model.Locate(Survey().rounds[0]), std::logic_error);
+}
+
+TEST(Fingerprint, FeatureIsPerAnchorMeanRssi) {
+  const auto feature = RssiFingerprint::Feature(Survey().rounds[0]);
+  EXPECT_EQ(feature.size(), 4u);  // one value per anchor
+  for (double f : feature) {
+    EXPECT_LT(f, 20.0);
+    EXPECT_GT(f, -90.0);
+  }
+}
+
+TEST(Fingerprint, RecallsSurveyedPositions) {
+  // Querying with a training round itself lands on (or very near) the
+  // surveyed point.
+  const RssiFingerprint model = TrainedModel();
+  const geom::Vec2 est = model.Locate(Survey().rounds[7]);
+  EXPECT_LT(geom::Distance(est, Survey().truths[7]), 0.8);
+}
+
+TEST(Fingerprint, InterpolatesUnseenPositions) {
+  const RssiFingerprint model = TrainedModel();
+  sim::DatasetOptions options;
+  options.locations = 20;
+  options.position_seed = 502;  // fresh positions, same environment
+  const sim::Dataset queries = sim::GenerateDataset(sim::LosClean(41), options);
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < queries.rounds.size(); ++i) {
+    errors.push_back(geom::Distance(model.Locate(queries.rounds[i]),
+                                    queries.truths[i]));
+  }
+  // In a clean LOS room with a 60-point survey, k-NN should be ~1 m-ish.
+  EXPECT_LT(dsp::Median(errors), 1.2);
+}
+
+TEST(Fingerprint, TrainingSizeCounts) {
+  RssiFingerprint model;
+  EXPECT_EQ(model.TrainingSize(), 0u);
+  model.Train({1, 1}, Survey().rounds[0]);
+  EXPECT_EQ(model.TrainingSize(), 1u);
+}
+
+TEST(Fingerprint, KLargerThanSurveyIsClamped) {
+  FingerprintConfig config;
+  config.k = 1000;
+  RssiFingerprint model(config);
+  model.Train({1, 1}, Survey().rounds[0]);
+  model.Train({2, 2}, Survey().rounds[1]);
+  EXPECT_NO_THROW(model.Locate(Survey().rounds[2]));
+}
+
+}  // namespace
+}  // namespace bloc::baseline

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "geom/room.h"
+#include "geom/segment.h"
+#include "geom/vec2.h"
+
+namespace bloc::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(-a, (Vec2{-1, -2}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 25.0);
+  const Vec2 u = v.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-12);
+  EXPECT_EQ((Vec2{0, 0}).Normalized(), (Vec2{0, 0}));
+}
+
+TEST(Vec2, PerpAndRotate) {
+  const Vec2 x{1, 0};
+  EXPECT_EQ(x.Perp(), (Vec2{0, 1}));
+  const Vec2 r = Rotate(x, std::numbers::pi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(x.Angle(), 0.0, 1e-12);
+  EXPECT_NEAR((Vec2{0, 1}).Angle(), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(Segment, BasicProperties) {
+  const Segment s{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(s.Length(), 4.0);
+  EXPECT_EQ(s.Midpoint(), (Vec2{2, 0}));
+  EXPECT_EQ(s.Direction(), (Vec2{1, 0}));
+  EXPECT_EQ(s.Normal(), (Vec2{0, 1}));
+  EXPECT_EQ(s.PointAt(0.25), (Vec2{1, 0}));
+}
+
+TEST(Intersect, CrossingSegments) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  const auto hit = Intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(Intersect, ParallelAndDisjoint) {
+  EXPECT_FALSE(Intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  EXPECT_FALSE(Intersect({{0, 0}, {1, 1}}, {{3, 0}, {4, 1}}).has_value());
+}
+
+TEST(Intersect, EndpointTouchDoesNotCount) {
+  // Sharing only an endpoint is not a proper crossing (grazing a corner
+  // should not block a ray).
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{1, 1}, {2, 0}};
+  EXPECT_FALSE(Intersect(a, b).has_value());
+}
+
+TEST(SegmentCrosses, Blocking) {
+  const Segment wall{{1, -1}, {1, 1}};
+  EXPECT_TRUE(SegmentCrosses({0, 0}, {2, 0}, wall));
+  EXPECT_FALSE(SegmentCrosses({0, 0}, {0.5, 0}, wall));
+}
+
+TEST(MirrorAcross, HorizontalLine) {
+  const Segment s{{0, 1}, {10, 1}};
+  const Vec2 m = MirrorAcross({3, 4}, s);
+  EXPECT_NEAR(m.x, 3.0, 1e-12);
+  EXPECT_NEAR(m.y, -2.0, 1e-12);
+}
+
+TEST(MirrorAcross, PointOnLineIsFixed) {
+  const Segment s{{0, 0}, {1, 1}};
+  const Vec2 m = MirrorAcross({0.5, 0.5}, s);
+  EXPECT_NEAR(m.x, 0.5, 1e-12);
+  EXPECT_NEAR(m.y, 0.5, 1e-12);
+}
+
+TEST(ClosestPointOn, ClampsToEndpoints) {
+  const Segment s{{0, 0}, {2, 0}};
+  EXPECT_EQ(ClosestPointOn(s, {-1, 5}), (Vec2{0, 0}));
+  EXPECT_EQ(ClosestPointOn(s, {5, 5}), (Vec2{2, 0}));
+  EXPECT_EQ(ClosestPointOn(s, {1, 3}), (Vec2{1, 0}));
+}
+
+TEST(ProjectParam, Unclamped) {
+  const Segment s{{0, 0}, {2, 0}};
+  EXPECT_DOUBLE_EQ(ProjectParam(s, {3, 1}), 1.5);
+  EXPECT_DOUBLE_EQ(ProjectParam(s, {-2, 0}), -1.0);
+}
+
+TEST(Obstacle, FacesAndContains) {
+  Obstacle o;
+  o.min_corner = {1, 1};
+  o.max_corner = {2, 3};
+  EXPECT_EQ(o.Faces().size(), 4u);
+  EXPECT_TRUE(o.Contains({1.5, 2.0}));
+  EXPECT_FALSE(o.Contains({0.5, 2.0}));
+  EXPECT_TRUE(o.Contains({1.0, 1.0}));  // boundary inclusive
+}
+
+TEST(Room, WallsAreReflectors) {
+  const Room room(6.0, 5.0);
+  EXPECT_EQ(room.reflectors().size(), 4u);
+  EXPECT_DOUBLE_EQ(room.width(), 6.0);
+  EXPECT_DOUBLE_EQ(room.height(), 5.0);
+}
+
+TEST(Room, RejectsBadDimensions) {
+  EXPECT_THROW(Room(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(Room(5.0, -1.0), std::invalid_argument);
+}
+
+TEST(Room, AddObstacleGrowsReflectors) {
+  Room room(6.0, 5.0);
+  Obstacle o;
+  o.min_corner = {1, 1};
+  o.max_corner = {2, 2};
+  room.AddObstacle(o);
+  EXPECT_EQ(room.reflectors().size(), 8u);
+  EXPECT_EQ(room.obstacles().size(), 1u);
+  Obstacle bad;
+  bad.min_corner = {2, 2};
+  bad.max_corner = {1, 1};
+  EXPECT_THROW(room.AddObstacle(bad), std::invalid_argument);
+}
+
+TEST(Room, InsideWithMargin) {
+  const Room room(6.0, 5.0);
+  EXPECT_TRUE(room.Inside({3, 2}));
+  EXPECT_FALSE(room.Inside({-0.1, 2}));
+  EXPECT_FALSE(room.Inside({0.2, 2}, 0.3));
+  EXPECT_TRUE(room.Inside({0.4, 2}, 0.3));
+}
+
+TEST(Room, LineOfSightAndThroughLoss) {
+  Room room(6.0, 5.0);
+  Obstacle o;
+  o.min_corner = {2, 1};
+  o.max_corner = {3, 4};
+  o.through_loss_db = 20.0;
+  room.AddObstacle(o);
+
+  EXPECT_TRUE(room.HasLineOfSight({1, 0.5}, {5, 0.5}));   // below obstacle
+  EXPECT_FALSE(room.HasLineOfSight({1, 2.5}, {5, 2.5}));  // through it
+
+  EXPECT_DOUBLE_EQ(room.ThroughAmplitude({1, 0.5}, {5, 0.5}), 1.0);
+  // Crossing both faces: 40 dB total = amplitude 0.01.
+  EXPECT_NEAR(room.ThroughAmplitude({1, 2.5}, {5, 2.5}), 0.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace bloc::geom

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "link/channel_map.h"
+#include "link/connection.h"
+#include "link/hopping.h"
+
+namespace bloc::link {
+namespace {
+
+TEST(ChannelMap, SpecFrequencies) {
+  // RF channel 0 = 2402 MHz, spacing 2 MHz, RF 39 = 2480 MHz.
+  EXPECT_DOUBLE_EQ(RfChannelFrequencyHz(0), 2.402e9);
+  EXPECT_DOUBLE_EQ(RfChannelFrequencyHz(39), 2.480e9);
+  // Data channel 0 -> RF 1 (2404), 10 -> RF 11 (2424), 11 -> RF 13 (2428),
+  // 36 -> RF 38 (2478) — the advertising channels interleave at RF 0/12/39.
+  EXPECT_DOUBLE_EQ(DataChannelFrequencyHz(0), 2.404e9);
+  EXPECT_DOUBLE_EQ(DataChannelFrequencyHz(10), 2.424e9);
+  EXPECT_DOUBLE_EQ(DataChannelFrequencyHz(11), 2.428e9);
+  EXPECT_DOUBLE_EQ(DataChannelFrequencyHz(36), 2.478e9);
+}
+
+TEST(ChannelMap, AdvertisingChannels) {
+  EXPECT_EQ(AdvToRfChannel(37), 0);
+  EXPECT_EQ(AdvToRfChannel(38), 12);
+  EXPECT_EQ(AdvToRfChannel(39), 39);
+  EXPECT_THROW(AdvToRfChannel(36), std::invalid_argument);
+}
+
+TEST(ChannelMap, OutOfRangeThrows) {
+  EXPECT_THROW(DataToRfChannel(37), std::invalid_argument);
+  EXPECT_THROW(RfChannelFrequencyHz(40), std::invalid_argument);
+  ChannelMap map;
+  EXPECT_THROW(map.Disable(37), std::invalid_argument);
+}
+
+TEST(ChannelMap, DefaultAllUsed) {
+  const ChannelMap map;
+  EXPECT_EQ(map.UsedCount(), 37u);
+  EXPECT_TRUE(map.IsUsed(0));
+  EXPECT_TRUE(map.IsUsed(36));
+  EXPECT_FALSE(map.IsUsed(37));  // not a data channel
+}
+
+TEST(ChannelMap, DisableEnable) {
+  ChannelMap map;
+  map.Disable(5);
+  EXPECT_FALSE(map.IsUsed(5));
+  EXPECT_EQ(map.UsedCount(), 36u);
+  map.Enable(5);
+  EXPECT_TRUE(map.IsUsed(5));
+}
+
+TEST(ChannelMap, Subsampled) {
+  const ChannelMap by2 = ChannelMap::Subsampled(2);
+  EXPECT_EQ(by2.UsedCount(), 19u);  // channels 0,2,...,36
+  EXPECT_TRUE(by2.IsUsed(0));
+  EXPECT_FALSE(by2.IsUsed(1));
+  const ChannelMap by4 = ChannelMap::Subsampled(4);
+  EXPECT_EQ(by4.UsedCount(), 10u);
+  EXPECT_THROW(ChannelMap::Subsampled(0), std::invalid_argument);
+}
+
+TEST(ChannelMap, WifiBlacklistRemovesOverlap) {
+  ChannelMap map;
+  map.BlacklistWifiOverlap(2.442e9);  // Wi-Fi channel 7
+  EXPECT_LT(map.UsedCount(), 37u);
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) {
+    const double f = DataChannelFrequencyHz(c);
+    EXPECT_EQ(map.IsUsed(c), std::abs(f - 2.442e9) >= 10.0e6) << int(c);
+  }
+}
+
+TEST(HopSequence, RejectsBadParameters) {
+  const ChannelMap map;
+  EXPECT_THROW(HopSequence(4, 0, map), std::invalid_argument);
+  EXPECT_THROW(HopSequence(17, 0, map), std::invalid_argument);
+  EXPECT_THROW(HopSequence(7, 37, map), std::invalid_argument);
+  ChannelMap one;
+  for (std::uint8_t c = 1; c < kNumDataChannels; ++c) one.Disable(c);
+  EXPECT_THROW(HopSequence(7, 0, one), std::invalid_argument);
+}
+
+TEST(HopSequence, FollowsModularRule) {
+  HopSequence hops(7, 0, ChannelMap());
+  EXPECT_EQ(hops.Next(), 7);
+  EXPECT_EQ(hops.Next(), 14);
+  EXPECT_EQ(hops.Next(), 21);
+  EXPECT_EQ(hops.Next(), 28);
+  EXPECT_EQ(hops.Next(), 35);
+  EXPECT_EQ(hops.Next(), (35 + 7) % 37);
+}
+
+TEST(HopSequence, SkipsUnusedChannels) {
+  ChannelMap map;
+  map.Disable(7);
+  HopSequence hops(7, 0, map);
+  EXPECT_EQ(hops.Next(), 14);  // 7 skipped
+}
+
+class HopIncrementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopIncrementTest, VisitsAll37ChannelsOnce) {
+  // 37 is prime: every hop increment cycles through all data channels —
+  // the property BLoc's band stitching relies on (paper §2.1).
+  HopSequence hops(static_cast<std::uint8_t>(GetParam()), 3, ChannelMap());
+  const auto sweep = hops.FullSweep();
+  EXPECT_EQ(sweep.size(), 37u);
+  const std::set<std::uint8_t> distinct(sweep.begin(), sweep.end());
+  EXPECT_EQ(distinct.size(), 37u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIncrements, HopIncrementTest,
+                         ::testing::Range(5, 17));
+
+TEST(Connection, AdvertisingUsesThreeChannels) {
+  Connection conn;
+  const auto rf = conn.StartAdvertising();
+  EXPECT_EQ(conn.state(), LinkState::kAdvertising);
+  EXPECT_EQ(rf, (std::vector<std::uint8_t>{0, 12, 39}));
+}
+
+TEST(Connection, ConnectTransitionsAndHops) {
+  Connection conn;
+  conn.StartAdvertising();
+  ConnectionParams params;
+  params.hop_increment = 9;
+  conn.Connect(params, 1.0);
+  EXPECT_EQ(conn.state(), LinkState::kConnected);
+  const ConnectionEvent ev0 = conn.NextEvent();
+  EXPECT_EQ(ev0.event_counter, 0);
+  EXPECT_EQ(ev0.data_channel, 9);
+  EXPECT_DOUBLE_EQ(ev0.start_time_s, 1.0);
+  const ConnectionEvent ev1 = conn.NextEvent();
+  EXPECT_EQ(ev1.event_counter, 1);
+  EXPECT_EQ(ev1.data_channel, 18);
+  EXPECT_DOUBLE_EQ(ev1.start_time_s, 1.0 + params.conn_interval_s);
+}
+
+TEST(Connection, NextEventRequiresConnection) {
+  Connection conn;
+  EXPECT_THROW(conn.NextEvent(), std::logic_error);
+}
+
+TEST(Connection, ConnectRejectsThinChannelMap) {
+  Connection conn;
+  ConnectionParams params;
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) {
+    params.channel_map.Disable(c);
+  }
+  EXPECT_THROW(conn.Connect(params), std::invalid_argument);
+}
+
+TEST(Connection, LocalizationRoundCoversUsedChannels) {
+  Connection conn;
+  ConnectionParams params;
+  params.channel_map = ChannelMap::Subsampled(2);
+  conn.Connect(params);
+  const auto events = conn.LocalizationRound();
+  EXPECT_EQ(events.size(), params.channel_map.UsedCount());
+  std::set<std::uint8_t> channels;
+  for (const auto& ev : events) {
+    EXPECT_TRUE(params.channel_map.IsUsed(ev.data_channel));
+    channels.insert(ev.data_channel);
+  }
+  EXPECT_EQ(channels.size(), params.channel_map.UsedCount());
+}
+
+TEST(Connection, FortyHopsPerSecondTiming) {
+  // Paper §6: BLE hops through all channels 40 times every second. With
+  // the default 25 ms connection interval, a 37-hop round takes < 1 s.
+  Connection conn;
+  conn.Connect(ConnectionParams{});
+  const auto events = conn.LocalizationRound();
+  const double duration =
+      events.back().start_time_s - events.front().start_time_s;
+  EXPECT_LT(duration, 1.0);
+}
+
+}  // namespace
+}  // namespace bloc::link

@@ -1,0 +1,101 @@
+#include "link/csa2.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace bloc::link {
+namespace {
+
+constexpr std::uint32_t kAa = 0x8E89BED6u;
+
+TEST(Csa2, DeterministicPerEvent) {
+  const ChannelMap map;
+  for (std::uint16_t e = 0; e < 64; ++e) {
+    EXPECT_EQ(Csa2Channel(kAa, e, map), Csa2Channel(kAa, e, map));
+  }
+}
+
+TEST(Csa2, AlwaysInRange) {
+  const ChannelMap map;
+  for (std::uint16_t e = 0; e < 2000; ++e) {
+    EXPECT_LT(Csa2Channel(kAa, e, map), kNumDataChannels);
+  }
+}
+
+TEST(Csa2, OnlyUsedChannelsSelected) {
+  const ChannelMap map = ChannelMap::Subsampled(4);  // 10 channels
+  for (std::uint16_t e = 0; e < 2000; ++e) {
+    EXPECT_TRUE(map.IsUsed(Csa2Channel(kAa, e, map))) << "event " << e;
+  }
+}
+
+TEST(Csa2, DependsOnAccessAddress) {
+  const ChannelMap map;
+  int same = 0;
+  for (std::uint16_t e = 0; e < 200; ++e) {
+    if (Csa2Channel(kAa, e, map) == Csa2Channel(0x50C0FFEEu, e, map)) ++same;
+  }
+  // Two connections must hop (essentially) independently.
+  EXPECT_LT(same, 30);
+}
+
+TEST(Csa2, NearUniformOverUsedChannels) {
+  const ChannelMap map;
+  std::array<int, kNumDataChannels> counts{};
+  const int events = 37 * 600;
+  for (int e = 0; e < events; ++e) {
+    ++counts[Csa2Channel(kAa, static_cast<std::uint16_t>(e), map)];
+  }
+  const double expected = static_cast<double>(events) / 37.0;
+  for (std::size_t c = 0; c < kNumDataChannels; ++c) {
+    EXPECT_GT(counts[c], expected * 0.7) << "channel " << c;
+    EXPECT_LT(counts[c], expected * 1.3) << "channel " << c;
+  }
+}
+
+TEST(Csa2, EmptyMapThrows) {
+  ChannelMap empty;
+  for (std::uint8_t c = 0; c < kNumDataChannels; ++c) empty.Disable(c);
+  EXPECT_THROW(Csa2Channel(kAa, 0, empty), std::invalid_argument);
+  EXPECT_THROW(Csa2Sequence(kAa, empty), std::invalid_argument);
+}
+
+TEST(Csa2Sequence, FullSweepCoversAllUsed) {
+  Csa2Sequence seq(kAa, ChannelMap());
+  const auto sweep = seq.FullSweep();
+  const std::set<std::uint8_t> distinct(sweep.begin(), sweep.end());
+  EXPECT_EQ(distinct.size(), 37u);  // BLoc's 80 MHz stitching also works
+                                    // under CSA#2 hopping
+}
+
+TEST(Csa2Sequence, FullSweepCoversBlacklistedMap) {
+  ChannelMap map;
+  map.BlacklistWifiOverlap(2.442e9);
+  Csa2Sequence seq(kAa, map);
+  const auto sweep = seq.FullSweep();
+  EXPECT_EQ(sweep.size(), map.UsedCount());
+}
+
+TEST(Csa2Sequence, CounterAdvances) {
+  Csa2Sequence seq(kAa, ChannelMap());
+  EXPECT_EQ(seq.event_counter(), 0);
+  seq.Next();
+  seq.Next();
+  EXPECT_EQ(seq.event_counter(), 2);
+}
+
+class Csa2MapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Csa2MapSweep, CoverageUnderSubsampling) {
+  const ChannelMap map = ChannelMap::Subsampled(GetParam());
+  Csa2Sequence seq(kAa, map);
+  EXPECT_EQ(seq.FullSweep().size(), map.UsedCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, Csa2MapSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 9));
+
+}  // namespace
+}  // namespace bloc::link

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/collector.h"
+#include "net/transport.h"
+
+namespace bloc::net {
+namespace {
+
+anchor::CsiReport MakeReport(std::uint32_t anchor_id, std::uint64_t round,
+                             bool master) {
+  anchor::CsiReport report;
+  report.anchor_id = anchor_id;
+  report.is_master = master;
+  report.round_id = round;
+  anchor::BandMeasurement band;
+  band.data_channel = 1;
+  band.freq_hz = 2.406e9;
+  band.tag_csi = {{1, 0}};
+  if (!master) band.master_csi = {{0.5, 0.5}};
+  report.bands.push_back(band);
+  return report;
+}
+
+AnchorHelloMsg MakeHello(std::uint32_t id, bool master) {
+  AnchorHelloMsg hello;
+  hello.anchor_id = id;
+  hello.is_master = master;
+  return hello;
+}
+
+TEST(Collector, GroupsRoundsByAnchor) {
+  Collector collector;
+  collector.OnMessage(MakeHello(1, true));
+  collector.OnMessage(MakeHello(2, false));
+  EXPECT_EQ(collector.Anchors().size(), 2u);
+
+  collector.OnMessage(CsiReportMsg{MakeReport(1, 0, true)});
+  EXPECT_FALSE(collector.TryGetRound(0).has_value());
+  collector.OnMessage(CsiReportMsg{MakeReport(2, 0, false)});
+  const auto round = collector.TryGetRound(0);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->reports.size(), 2u);
+}
+
+TEST(Collector, DropsDuplicateReports) {
+  Collector collector;
+  collector.OnMessage(MakeHello(1, true));
+  collector.OnMessage(MakeHello(2, false));
+  collector.OnMessage(CsiReportMsg{MakeReport(1, 0, true)});
+  collector.OnMessage(CsiReportMsg{MakeReport(1, 0, true)});
+  EXPECT_EQ(collector.dropped_duplicates(), 1u);
+  EXPECT_FALSE(collector.TryGetRound(0).has_value());
+}
+
+TEST(Collector, WaitRoundTimesOut) {
+  Collector collector;
+  collector.OnMessage(MakeHello(1, true));
+  EXPECT_FALSE(collector.WaitRound(7, 50).has_value());
+}
+
+TEST(Collector, IgnoresEstimates) {
+  Collector collector;
+  EXPECT_NO_THROW(collector.OnMessage(LocationEstimateMsg{}));
+}
+
+TEST(InProcTransport, DeliversThroughCodec) {
+  Collector collector;
+  InProcTransport transport(collector);
+  transport.Send(MakeHello(5, true));
+  transport.Send(CsiReportMsg{MakeReport(5, 3, true)});
+  const auto round = collector.TryGetRound(3);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->reports[0].anchor_id, 5u);
+  EXPECT_EQ(round->reports[0].bands[0].tag_csi[0], (dsp::cplx{1, 0}));
+}
+
+TEST(TcpTransport, EndToEndOverLoopback) {
+  Collector collector;
+  TcpServer server(collector, 0);
+  ASSERT_GT(server.port(), 0);
+
+  // Two "anchors" connect and stream hello + report.
+  TcpTransport anchor1("127.0.0.1", server.port());
+  TcpTransport anchor2("127.0.0.1", server.port());
+  anchor1.Send(MakeHello(1, true));
+  anchor2.Send(MakeHello(2, false));
+  anchor1.Send(CsiReportMsg{MakeReport(1, 0, true)});
+  anchor2.Send(CsiReportMsg{MakeReport(2, 0, false)});
+
+  const auto round = collector.WaitRound(0, 3000);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->reports.size(), 2u);
+  server.Stop();
+}
+
+TEST(TcpTransport, ManyMessagesOneConnection) {
+  Collector collector;
+  TcpServer server(collector, 0);
+  TcpTransport anchor("127.0.0.1", server.port());
+  anchor.Send(MakeHello(1, true));
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    anchor.Send(CsiReportMsg{MakeReport(1, r, true)});
+  }
+  const auto last = collector.WaitRound(49, 3000);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->reports.size(), 1u);
+  server.Stop();
+}
+
+TEST(TcpTransport, ConnectFailureThrows) {
+  // Port 1 on loopback is almost certainly closed.
+  EXPECT_THROW(TcpTransport("127.0.0.1", 1), std::system_error);
+  EXPECT_THROW(TcpTransport("not-an-ip", 80), std::invalid_argument);
+}
+
+TEST(TcpServer, StopIsIdempotent) {
+  Collector collector;
+  TcpServer server(collector, 0);
+  server.Stop();
+  EXPECT_NO_THROW(server.Stop());
+}
+
+TEST(TcpServer, SurvivesClientDisconnect) {
+  Collector collector;
+  TcpServer server(collector, 0);
+  {
+    TcpTransport transient("127.0.0.1", server.port());
+    transient.Send(MakeHello(9, false));
+  }  // destructor closes the socket
+  // Server keeps accepting.
+  TcpTransport another("127.0.0.1", server.port());
+  another.Send(MakeHello(10, true));
+  for (int i = 0; i < 100 && collector.Anchors().size() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(collector.Anchors().size(), 2u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bloc::net

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "phy/bits.h"
+#include "phy/constants.h"
+#include "phy/crc24.h"
+#include "phy/whitening.h"
+
+namespace bloc::phy {
+namespace {
+
+TEST(Bits, BytesToBitsLsbFirst) {
+  const Bytes bytes = {0x01, 0x80};
+  const Bits bits = BytesToBits(bytes);
+  ASSERT_EQ(bits.size(), 16u);
+  EXPECT_EQ(bits[0], 1);  // LSB of 0x01 first
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+  for (int i = 8; i < 15; ++i) EXPECT_EQ(bits[i], 0);
+  EXPECT_EQ(bits[15], 1);  // MSB of 0x80 last
+}
+
+TEST(Bits, RoundTrip) {
+  const Bytes bytes = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0xFF};
+  EXPECT_EQ(BitsToBytes(BytesToBits(bytes)), bytes);
+}
+
+TEST(Bits, BitsToBytesRejectsPartialByte) {
+  const Bits bits(7, 1);
+  EXPECT_THROW(BitsToBytes(bits), std::invalid_argument);
+}
+
+TEST(Bits, IntToBits) {
+  const Bits bits = IntToBits(0xA5, 8);
+  const Bits expected = {1, 0, 1, 0, 0, 1, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Bits, LongestRun) {
+  EXPECT_EQ(LongestRun({}), 0u);
+  EXPECT_EQ(LongestRun(Bits{1}), 1u);
+  EXPECT_EQ(LongestRun(Bits{0, 0, 1, 1, 1, 0}), 3u);
+  EXPECT_EQ(LongestRun(Bits{1, 1, 1, 1}), 4u);
+}
+
+TEST(Bits, BitErrorRate) {
+  const Bits a = {0, 1, 0, 1};
+  const Bits b = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(BitErrorRate(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(BitErrorRate(a, a), 0.0);
+  const Bits c = {0};
+  EXPECT_THROW(BitErrorRate(a, c), std::invalid_argument);
+}
+
+TEST(Crc24, MatchesSelfCheck) {
+  const Bits pdu = BytesToBits(Bytes{0x02, 0x04, 0x01, 0x02, 0x03, 0x04});
+  const Bits crc = Crc24Bits(pdu, kAdvertisingCrcInit);
+  ASSERT_EQ(crc.size(), 24u);
+  EXPECT_TRUE(Crc24Check(pdu, crc, kAdvertisingCrcInit));
+}
+
+TEST(Crc24, DetectsSingleBitErrors) {
+  Bits pdu = BytesToBits(Bytes{0x42, 0x05, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE});
+  const Bits crc = Crc24Bits(pdu, 0x123456u);
+  for (std::size_t i = 0; i < pdu.size(); ++i) {
+    pdu[i] ^= 1;
+    EXPECT_FALSE(Crc24Check(pdu, crc, 0x123456u)) << "bit " << i;
+    pdu[i] ^= 1;
+  }
+  EXPECT_TRUE(Crc24Check(pdu, crc, 0x123456u));
+}
+
+TEST(Crc24, DependsOnInit) {
+  const Bits pdu = BytesToBits(Bytes{0x11, 0x22});
+  EXPECT_NE(Crc24(pdu, 0x555555u), Crc24(pdu, 0x123456u));
+}
+
+TEST(Crc24, CheckRejectsWrongLength) {
+  const Bits pdu = BytesToBits(Bytes{0x11});
+  const Bits short_crc(23, 0);
+  EXPECT_FALSE(Crc24Check(pdu, short_crc, 0x555555u));
+}
+
+TEST(Whitening, IsInvolution) {
+  const std::uint8_t channel = 23;
+  Bits bits = BytesToBits(Bytes{0x12, 0x34, 0x56, 0x78});
+  const Bits original = bits;
+  WhitenInPlace(bits, channel);
+  EXPECT_NE(bits, original);
+  WhitenInPlace(bits, channel);
+  EXPECT_EQ(bits, original);
+}
+
+TEST(Whitening, SequencePeriod127) {
+  // The 7-bit LFSR has period 127.
+  const Bits seq = WhiteningSequence(5, 254);
+  for (std::size_t i = 0; i < 127; ++i) {
+    EXPECT_EQ(seq[i], seq[i + 127]) << i;
+  }
+  // And is not constant.
+  EXPECT_GT(LongestRun(std::span(seq).subspan(0, 127)), 0u);
+  bool has0 = false, has1 = false;
+  for (std::size_t i = 0; i < 127; ++i) {
+    has0 |= seq[i] == 0;
+    has1 |= seq[i] == 1;
+  }
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+}
+
+TEST(Whitening, BalancedOnes) {
+  // An m-sequence of period 127 has exactly 64 ones.
+  const Bits seq = WhiteningSequence(11, 127);
+  std::size_t ones = 0;
+  for (std::uint8_t b : seq) ones += b;
+  EXPECT_EQ(ones, 64u);
+}
+
+class WhiteningChannelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WhiteningChannelTest, DistinctSequencesPerChannel) {
+  const auto ch = static_cast<std::uint8_t>(GetParam());
+  const Bits a = WhiteningSequence(ch, 64);
+  const Bits b = WhiteningSequence(static_cast<std::uint8_t>(ch + 1), 64);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, WhiteningChannelTest,
+                         ::testing::Values(0, 5, 11, 17, 23, 29, 36, 38));
+
+}  // namespace
+}  // namespace bloc::phy

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "dsp/complex_ops.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "phy/csi_extract.h"
+#include "phy/packet.h"
+
+namespace bloc::phy {
+namespace {
+
+using dsp::cplx;
+
+Bits LocalizationAirBits(std::uint8_t channel) {
+  const Packet p = MakeLocalizationPacket(channel, 0x50C0FFEEu, 8, 20);
+  return AssembleAirBits(p, channel, 0x123456u);
+}
+
+TEST(CsiExtractor, FindsBothPlateaus) {
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(10);
+  const PlateauIndices plateaus = extractor.FindPlateaus(air);
+  EXPECT_GT(plateaus.f0.size(), 50u);
+  EXPECT_GT(plateaus.f1.size(), 50u);
+  // Plateau samples must index into the waveform.
+  const std::size_t n = air.size() * kSamplesPerSymbol;
+  for (std::size_t idx : plateaus.f0) EXPECT_LT(idx, n);
+  for (std::size_t idx : plateaus.f1) EXPECT_LT(idx, n);
+}
+
+TEST(CsiExtractor, RandomDataHasFewPlateaus) {
+  const CsiExtractor extractor;
+  dsp::Rng rng(3);
+  Bits bits;
+  for (int i = 0; i < 300; ++i) {
+    bits.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 1)));
+  }
+  const PlateauIndices random_p = extractor.FindPlateaus(bits);
+  const PlateauIndices runs_p =
+      extractor.FindPlateaus(LocalizationAirBits(10));
+  // Random data still forms short accidental runs, but clearly fewer
+  // plateau samples per bit than the designed run packet.
+  const double random_density =
+      static_cast<double>(random_p.f0.size() + random_p.f1.size()) /
+      static_cast<double>(bits.size());
+  const Bits run_air = LocalizationAirBits(10);
+  const double runs_density =
+      static_cast<double>(runs_p.f0.size() + runs_p.f1.size()) /
+      static_cast<double>(run_air.size());
+  EXPECT_LT(random_density, 0.8 * runs_density);
+}
+
+TEST(CsiExtractor, RecoversFlatChannelExactly) {
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(17);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const cplx h = 0.37 * dsp::Rotor(-1.2);
+  dsp::CVec rx(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) rx[i] = tx[i] * h;
+  const CsiEstimate est = extractor.EstimateFromBits(air, rx);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(std::abs(est.h0 - h), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(est.h1 - h), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(est.merged - h), 0.0, 1e-9);
+}
+
+TEST(CsiExtractor, SeparatesFrequencySelectiveChannel) {
+  // h(f) differs at -dev and +dev: the extractor must report the two
+  // plateau channels separately.
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(5);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const cplx h_lo = 0.5 * dsp::Rotor(0.3);
+  const cplx h_hi = 0.8 * dsp::Rotor(-0.9);
+  const double fs = extractor.modulator().sample_rate_hz();
+  const dsp::CVec rx = dsp::ApplyTransferFunction(
+      tx, fs, [&](double f) { return f < 0 ? h_lo : h_hi; });
+  const PlateauIndices plateaus = extractor.FindPlateaus(air);
+  const CsiEstimate est = extractor.Estimate(tx, rx, plateaus);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(std::abs(est.h0 - h_lo), 0.0, 0.05);
+  EXPECT_NEAR(std::abs(est.h1 - h_hi), 0.0, 0.05);
+}
+
+TEST(CsiExtractor, MergedAveragesAmpAndPhase) {
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(5);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const cplx h_lo = 1.0 * dsp::Rotor(0.2);
+  const cplx h_hi = 3.0 * dsp::Rotor(0.4);
+  const double fs = extractor.modulator().sample_rate_hz();
+  const dsp::CVec rx = dsp::ApplyTransferFunction(
+      tx, fs, [&](double f) { return f < 0 ? h_lo : h_hi; });
+  const CsiEstimate est =
+      extractor.Estimate(tx, rx, extractor.FindPlateaus(air));
+  EXPECT_NEAR(std::abs(est.merged), 2.0, 0.05);
+  EXPECT_NEAR(std::arg(est.merged), 0.3, 0.02);
+}
+
+TEST(CsiExtractor, NoiseAveragesDown) {
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(20);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const cplx h{0.6, -0.2};
+  dsp::Rng rng(8);
+  const PlateauIndices plateaus = extractor.FindPlateaus(air);
+  // Per-sample SNR ~ 14 dB against |h|~0.63; estimate error should shrink
+  // roughly as 1/sqrt(N_plateau).
+  double err_sum = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    dsp::CVec rx(tx.size());
+    for (std::size_t i = 0; i < tx.size(); ++i) {
+      rx[i] = tx[i] * h + rng.ComplexGaussian(0.016);
+    }
+    const CsiEstimate est = extractor.Estimate(tx, rx, plateaus);
+    err_sum += std::abs(est.merged - h);
+  }
+  const double n = static_cast<double>(plateaus.f0.size());
+  EXPECT_LT(err_sum / trials, 4.0 * std::sqrt(0.016 / n));
+}
+
+TEST(CsiExtractor, InvalidWhenNoPlateaus) {
+  const CsiExtractor extractor;
+  const Bits alternating = {1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  const dsp::CVec tx = extractor.modulator().Modulate(alternating);
+  const CsiEstimate est = extractor.EstimateFromBits(alternating, tx);
+  EXPECT_FALSE(est.valid);
+}
+
+TEST(CsiExtractor, LengthMismatchThrows) {
+  const CsiExtractor extractor;
+  const dsp::CVec tx(100), rx(50);
+  EXPECT_THROW(extractor.Estimate(tx, rx, {}), std::invalid_argument);
+}
+
+class CsiChannelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsiChannelSweep, FlatChannelRecoveryOnEveryFourthChannel) {
+  const auto ch = static_cast<std::uint8_t>(GetParam());
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(ch);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const cplx h = 0.9 * dsp::Rotor(0.1 + ch);
+  dsp::CVec rx(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) rx[i] = tx[i] * h;
+  const CsiEstimate est = extractor.EstimateFromBits(air, rx);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(std::abs(est.merged - h), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, CsiChannelSweep,
+                         ::testing::Values(0, 4, 8, 12, 16, 20, 24, 28, 32,
+                                           36));
+
+}  // namespace
+}  // namespace bloc::phy

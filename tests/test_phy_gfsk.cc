@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "dsp/complex_ops.h"
+#include "dsp/rng.h"
+#include "phy/gfsk.h"
+
+namespace bloc::phy {
+namespace {
+
+TEST(GfskModulator, UnitEnvelope) {
+  const GfskModulator mod;
+  const Bits bits = {1, 0, 1, 1, 0, 0, 1, 0};
+  const dsp::CVec iq = mod.Modulate(bits);
+  ASSERT_EQ(iq.size(), bits.size() * kSamplesPerSymbol);
+  for (const dsp::cplx& s : iq) {
+    EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+  }
+}
+
+TEST(GfskModulator, LongRunsSettleOnPlateaus) {
+  const GfskModulator mod;
+  Bits bits(16, 0);
+  bits.insert(bits.end(), 16, 1);
+  const dsp::RVec freq = mod.FrequencyTrajectory(bits);
+  // Mid-run samples sit on -dev / +dev.
+  const std::size_t sps = kSamplesPerSymbol;
+  EXPECT_NEAR(freq[8 * sps], -kFrequencyDeviationHz, 1.0);
+  EXPECT_NEAR(freq[24 * sps], +kFrequencyDeviationHz, 1.0);
+}
+
+TEST(GfskModulator, AlternatingBitsNeverSettle) {
+  const GfskModulator mod;
+  Bits bits;
+  for (int i = 0; i < 32; ++i) bits.push_back(i % 2);
+  const dsp::RVec freq = mod.FrequencyTrajectory(bits);
+  // The Gaussian filter keeps alternating data well inside the deviation:
+  // no sample reaches 90% of the plateau after the filter transient.
+  for (std::size_t n = 4 * kSamplesPerSymbol;
+       n < freq.size() - 4 * kSamplesPerSymbol; ++n) {
+    EXPECT_LT(std::abs(freq[n]), 0.9 * kFrequencyDeviationHz) << n;
+  }
+}
+
+TEST(GfskModulator, InitialPhaseRotatesWaveform) {
+  const GfskModulator mod;
+  const Bits bits = {1, 0, 1, 0};
+  const dsp::CVec a = mod.Modulate(bits, 0.0);
+  const dsp::CVec b = mod.Modulate(bits, 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(b[i] - a[i] * dsp::Rotor(1.0)), 0.0, 1e-12);
+  }
+}
+
+TEST(GfskDemodulator, RecoversFrequency) {
+  const GfskModulator mod;
+  const GfskDemodulator demod;
+  Bits bits(12, 1);
+  const dsp::CVec iq = mod.Modulate(bits);
+  const dsp::RVec freq = demod.InstantaneousFrequency(iq);
+  // Steady ones: discriminator reads +deviation mid-stream.
+  EXPECT_NEAR(freq[iq.size() / 2], kFrequencyDeviationHz, 100.0);
+}
+
+TEST(GfskDemodulator, NoiselessLoopbackIsErrorFree) {
+  const GfskModulator mod;
+  const GfskDemodulator demod;
+  dsp::Rng rng(21);
+  Bits bits;
+  for (int i = 0; i < 200; ++i) {
+    bits.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 1)));
+  }
+  const dsp::CVec iq = mod.Modulate(bits);
+  const Bits rx = demod.Demodulate(iq, bits.size());
+  EXPECT_EQ(BitErrorRate(bits, rx), 0.0);
+}
+
+TEST(GfskDemodulator, ToleratesModerateNoise) {
+  const GfskModulator mod;
+  const GfskDemodulator demod;
+  dsp::Rng rng(22);
+  Bits bits;
+  for (int i = 0; i < 400; ++i) {
+    bits.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 1)));
+  }
+  dsp::CVec iq = mod.Modulate(bits);
+  for (auto& s : iq) s += rng.ComplexGaussian(0.01);  // 20 dB SNR
+  const Bits rx = demod.Demodulate(iq, bits.size());
+  EXPECT_LT(BitErrorRate(bits, rx), 0.01);
+}
+
+TEST(GfskDemodulator, LoopbackSurvivesChannelRotation) {
+  const GfskModulator mod;
+  const GfskDemodulator demod;
+  const Bits bits = {1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1, 0};
+  dsp::CVec iq = mod.Modulate(bits);
+  for (auto& s : iq) s *= dsp::cplx{0.2, -0.6};  // flat channel
+  const Bits rx = demod.Demodulate(iq, bits.size());
+  EXPECT_EQ(BitErrorRate(bits, rx), 0.0);
+}
+
+TEST(GfskDemodulator, ThrowsOnShortInput) {
+  const GfskDemodulator demod;
+  const dsp::CVec iq(10, dsp::cplx{1, 0});
+  EXPECT_THROW(demod.Demodulate(iq, 100), std::invalid_argument);
+}
+
+class GfskBtSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GfskBtSweep, LoopbackAcrossBtValues) {
+  GfskConfig cfg;
+  cfg.bt = GetParam();
+  const GfskModulator mod(cfg);
+  const GfskDemodulator demod(cfg);
+  dsp::Rng rng(31);
+  Bits bits;
+  for (int i = 0; i < 128; ++i) {
+    bits.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 1)));
+  }
+  const Bits rx = demod.Demodulate(mod.Modulate(bits), bits.size());
+  // Tighter filters cause more ISI; allow a small budget below BT 0.5.
+  EXPECT_LT(BitErrorRate(bits, rx), GetParam() < 0.4 ? 0.05 : 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(BtValues, GfskBtSweep,
+                         ::testing::Values(0.3, 0.4, 0.5, 0.7, 1.0));
+
+}  // namespace
+}  // namespace bloc::phy

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "phy/packet.h"
+#include "phy/whitening.h"
+
+namespace bloc::phy {
+namespace {
+
+Packet SamplePacket() {
+  Packet p;
+  p.access_address = 0xCAFEBABEu;
+  p.header.type = 0x02;
+  p.payload = {0x10, 0x20, 0x30, 0x40, 0x55};
+  p.header.length = static_cast<std::uint8_t>(p.payload.size());
+  return p;
+}
+
+TEST(Packet, AirBitCount) {
+  EXPECT_EQ(AirBitCount(5), 8u + 32u + 16u + 40u + 24u);
+}
+
+TEST(Packet, AssembleParseRoundTrip) {
+  const Packet p = SamplePacket();
+  const Bits air = AssembleAirBits(p, 12, 0xABCDEFu);
+  EXPECT_EQ(air.size(), AirBitCount(p.payload.size()));
+  const auto parsed = ParseAirBits(air, 12, 0xABCDEFu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->access_address, p.access_address);
+  EXPECT_EQ(parsed->header.type, p.header.type);
+  EXPECT_EQ(parsed->header.length, p.header.length);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Packet, PreambleAlternatesFromAaLsb) {
+  Packet p = SamplePacket();
+  p.access_address = 0xCAFEBABEu;  // LSB = 0
+  const Bits air = AssembleAirBits(p, 0, 0x555555u);
+  for (std::size_t i = 0; i < kPreambleBits; ++i) {
+    EXPECT_EQ(air[i], i % 2);
+  }
+  p.access_address = 0xCAFEBABFu;  // LSB = 1
+  const Bits air2 = AssembleAirBits(p, 0, 0x555555u);
+  for (std::size_t i = 0; i < kPreambleBits; ++i) {
+    EXPECT_EQ(air2[i], (i + 1) % 2);
+  }
+}
+
+TEST(Packet, HeaderLengthMismatchThrows) {
+  Packet p = SamplePacket();
+  p.header.length = 99;
+  EXPECT_THROW(AssembleAirBits(p, 0, 0x555555u), std::invalid_argument);
+}
+
+TEST(Packet, ParseRejectsCorruptedBits) {
+  const Packet p = SamplePacket();
+  Bits air = AssembleAirBits(p, 7, 0x123456u);
+  air[60] ^= 1;  // flip a payload bit -> CRC failure
+  EXPECT_FALSE(ParseAirBits(air, 7, 0x123456u).has_value());
+}
+
+TEST(Packet, ParseRejectsWrongChannelWhitening) {
+  const Packet p = SamplePacket();
+  const Bits air = AssembleAirBits(p, 7, 0x123456u);
+  EXPECT_FALSE(ParseAirBits(air, 8, 0x123456u).has_value());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  const Packet p = SamplePacket();
+  Bits air = AssembleAirBits(p, 7, 0x123456u);
+  air.resize(40);
+  EXPECT_FALSE(ParseAirBits(air, 7, 0x123456u).has_value());
+}
+
+TEST(LocalizationPayload, OnAirBitsAreRuns) {
+  for (const std::size_t run : {4u, 8u, 16u}) {
+    const Packet p = MakeLocalizationPacket(9, 0x12345678u, run, 16);
+    const Bits air = AssembleAirBits(p, 9, 0x555555u);
+    const auto payload_air = std::span(air).subspan(
+        kPreambleBits + kAccessAddressBits + 16, 16 * 8);
+    // Every bit follows the (i / run) % 2 pattern.
+    for (std::size_t i = 0; i < payload_air.size(); ++i) {
+      EXPECT_EQ(payload_air[i], (i / run) % 2) << "run=" << run << " i=" << i;
+    }
+  }
+}
+
+TEST(LocalizationPayload, RejectsZeroRun) {
+  EXPECT_THROW(MakeLocalizationPayload(0, 0, 16), std::invalid_argument);
+}
+
+TEST(LocalizationPayload, StillAValidPacket) {
+  const Packet p = MakeLocalizationPacket(30, 0x50C0FFEEu);
+  const Bits air = AssembleAirBits(p, 30, 0x123456u);
+  const auto parsed = ParseAirBits(air, 30, 0x123456u);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+class PacketChannelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketChannelTest, RoundTripOnEveryDataChannel) {
+  const auto ch = static_cast<std::uint8_t>(GetParam());
+  const Packet p = MakeLocalizationPacket(ch, 0x50C0FFEEu, 8, 20);
+  const Bits air = AssembleAirBits(p, ch, 0x123456u);
+  const auto parsed = ParseAirBits(air, ch, 0x123456u);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, p.payload);
+  // The on-air payload run structure holds on every channel despite the
+  // channel-dependent whitening.
+  const auto payload_air = std::span(air).subspan(
+      kPreambleBits + kAccessAddressBits + 16, 20 * 8);
+  EXPECT_GE(LongestRun(payload_air), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataChannels, PacketChannelTest,
+                         ::testing::Range(0, 37));
+
+}  // namespace
+}  // namespace bloc::phy

@@ -1,0 +1,113 @@
+#include "track/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+
+namespace bloc::track {
+namespace {
+
+TEST(Kalman, FirstFixInitializes) {
+  KalmanTracker kf;
+  EXPECT_FALSE(kf.initialized());
+  EXPECT_TRUE(kf.Update({2.0, 3.0}, 0.0));
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_NEAR(kf.position().x, 2.0, 1e-12);
+  EXPECT_NEAR(kf.position().y, 3.0, 1e-12);
+  EXPECT_NEAR(kf.velocity().Norm(), 0.0, 1e-12);
+}
+
+TEST(Kalman, ConvergesOnStationaryTarget) {
+  KalmanConfig config;
+  config.fix_std = 0.5;
+  config.accel_std = 0.001;  // stationary target: trust the motion model
+  KalmanTracker kf(config);
+  dsp::Rng rng(3);
+  const geom::Vec2 truth{1.5, 2.5};
+  for (int i = 0; i < 200; ++i) {
+    kf.Update({truth.x + rng.Gaussian(0.5), truth.y + rng.Gaussian(0.5)},
+              1.0);
+  }
+  // A constant-velocity filter does not average forever (it must stay
+  // responsive), but with tiny process noise it beats a single fix by ~3x.
+  EXPECT_LT(geom::Distance(kf.position(), truth), 0.25);
+  EXPECT_LT(kf.position_std().x, 0.15);
+}
+
+TEST(Kalman, TracksConstantVelocity) {
+  KalmanConfig config;
+  config.fix_std = 0.3;
+  config.accel_std = 0.05;  // nearly constant velocity
+  KalmanTracker kf(config);
+  dsp::Rng rng(5);
+  const geom::Vec2 v{0.4, -0.2};  // m/s
+  geom::Vec2 p{0.0, 5.0};
+  for (int i = 0; i < 100; ++i) {
+    p = p + v * 0.5;
+    kf.Update({p.x + rng.Gaussian(0.3), p.y + rng.Gaussian(0.3)}, 0.5);
+  }
+  EXPECT_LT(geom::Distance(kf.position(), p), 0.3);
+  EXPECT_LT(geom::Distance(kf.velocity(), v), 0.15);
+}
+
+TEST(Kalman, SmoothsNoisyFixes) {
+  // Filtered error beats raw-fix error on a moving target.
+  KalmanConfig config;
+  config.fix_std = 0.7;
+  config.accel_std = 0.05;
+  KalmanTracker kf(config);
+  dsp::Rng rng(7);
+  geom::Vec2 p{1.0, 1.0};
+  std::vector<double> raw_err, kf_err;
+  for (int i = 0; i < 150; ++i) {
+    p = p + geom::Vec2{0.1, 0.05};
+    const geom::Vec2 fix{p.x + rng.Gaussian(0.7), p.y + rng.Gaussian(0.7)};
+    kf.Update(fix, 1.0);
+    if (i > 10) {
+      raw_err.push_back(geom::Distance(fix, p));
+      kf_err.push_back(geom::Distance(kf.position(), p));
+    }
+  }
+  EXPECT_LT(dsp::Median(kf_err), 0.7 * dsp::Median(raw_err));
+}
+
+TEST(Kalman, GatesOutliers) {
+  KalmanConfig config;
+  config.fix_std = 0.3;
+  config.gate_sigmas = 4.0;
+  KalmanTracker kf(config);
+  kf.Update({1.0, 1.0}, 0.0);
+  for (int i = 0; i < 10; ++i) kf.Update({1.0, 1.0}, 1.0);
+  // A wild multipath fix across the room is rejected...
+  EXPECT_FALSE(kf.Update({9.0, 9.0}, 1.0));
+  EXPECT_EQ(kf.rejected_fixes(), 1u);
+  // ...and the estimate barely moves.
+  EXPECT_LT(geom::Distance(kf.position(), {1.0, 1.0}), 0.2);
+}
+
+TEST(Kalman, GatingDisabledAcceptsEverything) {
+  KalmanConfig config;
+  config.gate_sigmas = 0.0;
+  KalmanTracker kf(config);
+  kf.Update({1.0, 1.0}, 0.0);
+  EXPECT_TRUE(kf.Update({9.0, 9.0}, 1.0));
+  EXPECT_EQ(kf.rejected_fixes(), 0u);
+}
+
+TEST(Kalman, UncertaintyGrowsWithoutMeasurements) {
+  KalmanTracker kf;
+  kf.Update({0.0, 0.0}, 0.0);
+  kf.Update({0.0, 0.0}, 1.0);
+  const double before = kf.position_std().x;
+  // Gated updates still advance the prediction, inflating covariance.
+  KalmanConfig tight;
+  tight.gate_sigmas = 0.001;
+  KalmanTracker gated(tight);
+  gated.Update({0.0, 0.0}, 0.0);
+  for (int i = 0; i < 5; ++i) gated.Update({3.0, 3.0}, 1.0);
+  EXPECT_GT(gated.position_std().x, before);
+}
+
+}  // namespace
+}  // namespace bloc::track
