@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cfo.dir/bench_ablation_cfo.cc.o"
+  "CMakeFiles/bench_ablation_cfo.dir/bench_ablation_cfo.cc.o.d"
+  "bench_ablation_cfo"
+  "bench_ablation_cfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fingerprint.dir/bench_ablation_fingerprint.cc.o"
+  "CMakeFiles/bench_ablation_fingerprint.dir/bench_ablation_fingerprint.cc.o.d"
+  "bench_ablation_fingerprint"
+  "bench_ablation_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

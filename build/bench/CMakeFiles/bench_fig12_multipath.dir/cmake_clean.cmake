@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multipath.dir/bench_fig12_multipath.cc.o"
+  "CMakeFiles/bench_fig12_multipath.dir/bench_fig12_multipath.cc.o.d"
+  "bench_fig12_multipath"
+  "bench_fig12_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_microbench.dir/bench_fig8_microbench.cc.o"
+  "CMakeFiles/bench_fig8_microbench.dir/bench_fig8_microbench.cc.o.d"
+  "bench_fig8_microbench"
+  "bench_fig8_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

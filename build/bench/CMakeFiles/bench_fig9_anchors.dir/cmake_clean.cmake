@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_anchors.dir/bench_fig9_anchors.cc.o"
+  "CMakeFiles/bench_fig9_anchors.dir/bench_fig9_anchors.cc.o.d"
+  "bench_fig9_anchors"
+  "bench_fig9_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_antennas.dir/bench_fig9_antennas.cc.o"
+  "CMakeFiles/bench_fig9_antennas.dir/bench_fig9_antennas.cc.o.d"
+  "bench_fig9_antennas"
+  "bench_fig9_antennas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_antennas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

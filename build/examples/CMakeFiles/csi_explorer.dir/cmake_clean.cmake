@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_explorer.dir/csi_explorer.cpp.o"
+  "CMakeFiles/csi_explorer.dir/csi_explorer.cpp.o.d"
+  "csi_explorer"
+  "csi_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

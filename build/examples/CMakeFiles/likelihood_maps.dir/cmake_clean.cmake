@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/likelihood_maps.dir/likelihood_maps.cpp.o"
+  "CMakeFiles/likelihood_maps.dir/likelihood_maps.cpp.o.d"
+  "likelihood_maps"
+  "likelihood_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/likelihood_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_tracking.dir/pet_tracking.cpp.o"
+  "CMakeFiles/pet_tracking.dir/pet_tracking.cpp.o.d"
+  "pet_tracking"
+  "pet_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dsp")
+subdirs("geom")
+subdirs("channel")
+subdirs("phy")
+subdirs("link")
+subdirs("anchor")
+subdirs("net")
+subdirs("bloc")
+subdirs("baseline")
+subdirs("eval")
+subdirs("sim")
+subdirs("track")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_anchor.dir/anchor.cc.o"
+  "CMakeFiles/bloc_anchor.dir/anchor.cc.o.d"
+  "CMakeFiles/bloc_anchor.dir/array.cc.o"
+  "CMakeFiles/bloc_anchor.dir/array.cc.o.d"
+  "CMakeFiles/bloc_anchor.dir/csi_report.cc.o"
+  "CMakeFiles/bloc_anchor.dir/csi_report.cc.o.d"
+  "libbloc_anchor.a"
+  "libbloc_anchor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_baseline.dir/aoa_baseline.cc.o"
+  "CMakeFiles/bloc_baseline.dir/aoa_baseline.cc.o.d"
+  "CMakeFiles/bloc_baseline.dir/fingerprint.cc.o"
+  "CMakeFiles/bloc_baseline.dir/fingerprint.cc.o.d"
+  "CMakeFiles/bloc_baseline.dir/rssi_baseline.cc.o"
+  "CMakeFiles/bloc_baseline.dir/rssi_baseline.cc.o.d"
+  "libbloc_baseline.a"
+  "libbloc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

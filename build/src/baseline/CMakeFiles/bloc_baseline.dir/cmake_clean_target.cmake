@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbloc_baseline.a"
+)

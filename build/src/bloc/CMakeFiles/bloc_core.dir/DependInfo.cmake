@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloc/calibration.cc" "src/bloc/CMakeFiles/bloc_core.dir/calibration.cc.o" "gcc" "src/bloc/CMakeFiles/bloc_core.dir/calibration.cc.o.d"
+  "/root/repo/src/bloc/corrected_channel.cc" "src/bloc/CMakeFiles/bloc_core.dir/corrected_channel.cc.o" "gcc" "src/bloc/CMakeFiles/bloc_core.dir/corrected_channel.cc.o.d"
+  "/root/repo/src/bloc/localizer.cc" "src/bloc/CMakeFiles/bloc_core.dir/localizer.cc.o" "gcc" "src/bloc/CMakeFiles/bloc_core.dir/localizer.cc.o.d"
+  "/root/repo/src/bloc/multipath.cc" "src/bloc/CMakeFiles/bloc_core.dir/multipath.cc.o" "gcc" "src/bloc/CMakeFiles/bloc_core.dir/multipath.cc.o.d"
+  "/root/repo/src/bloc/spectra.cc" "src/bloc/CMakeFiles/bloc_core.dir/spectra.cc.o" "gcc" "src/bloc/CMakeFiles/bloc_core.dir/spectra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bloc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/anchor/CMakeFiles/bloc_anchor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bloc_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

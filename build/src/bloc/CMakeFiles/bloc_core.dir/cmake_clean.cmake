@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_core.dir/calibration.cc.o"
+  "CMakeFiles/bloc_core.dir/calibration.cc.o.d"
+  "CMakeFiles/bloc_core.dir/corrected_channel.cc.o"
+  "CMakeFiles/bloc_core.dir/corrected_channel.cc.o.d"
+  "CMakeFiles/bloc_core.dir/localizer.cc.o"
+  "CMakeFiles/bloc_core.dir/localizer.cc.o.d"
+  "CMakeFiles/bloc_core.dir/multipath.cc.o"
+  "CMakeFiles/bloc_core.dir/multipath.cc.o.d"
+  "CMakeFiles/bloc_core.dir/spectra.cc.o"
+  "CMakeFiles/bloc_core.dir/spectra.cc.o.d"
+  "libbloc_core.a"
+  "libbloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/hardware.cc" "src/channel/CMakeFiles/bloc_channel.dir/hardware.cc.o" "gcc" "src/channel/CMakeFiles/bloc_channel.dir/hardware.cc.o.d"
+  "/root/repo/src/channel/noise.cc" "src/channel/CMakeFiles/bloc_channel.dir/noise.cc.o" "gcc" "src/channel/CMakeFiles/bloc_channel.dir/noise.cc.o.d"
+  "/root/repo/src/channel/pathset.cc" "src/channel/CMakeFiles/bloc_channel.dir/pathset.cc.o" "gcc" "src/channel/CMakeFiles/bloc_channel.dir/pathset.cc.o.d"
+  "/root/repo/src/channel/propagation.cc" "src/channel/CMakeFiles/bloc_channel.dir/propagation.cc.o" "gcc" "src/channel/CMakeFiles/bloc_channel.dir/propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bloc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

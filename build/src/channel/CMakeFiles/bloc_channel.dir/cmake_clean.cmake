@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_channel.dir/hardware.cc.o"
+  "CMakeFiles/bloc_channel.dir/hardware.cc.o.d"
+  "CMakeFiles/bloc_channel.dir/noise.cc.o"
+  "CMakeFiles/bloc_channel.dir/noise.cc.o.d"
+  "CMakeFiles/bloc_channel.dir/pathset.cc.o"
+  "CMakeFiles/bloc_channel.dir/pathset.cc.o.d"
+  "CMakeFiles/bloc_channel.dir/propagation.cc.o"
+  "CMakeFiles/bloc_channel.dir/propagation.cc.o.d"
+  "libbloc_channel.a"
+  "libbloc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/complex_ops.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/complex_ops.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/complex_ops.cc.o.d"
+  "/root/repo/src/dsp/eig.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/eig.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/eig.cc.o.d"
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/fir.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/fir.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/fir.cc.o.d"
+  "/root/repo/src/dsp/grid2d.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/grid2d.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/grid2d.cc.o.d"
+  "/root/repo/src/dsp/peaks.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/peaks.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/peaks.cc.o.d"
+  "/root/repo/src/dsp/rng.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/rng.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/rng.cc.o.d"
+  "/root/repo/src/dsp/stats.cc" "src/dsp/CMakeFiles/bloc_dsp.dir/stats.cc.o" "gcc" "src/dsp/CMakeFiles/bloc_dsp.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

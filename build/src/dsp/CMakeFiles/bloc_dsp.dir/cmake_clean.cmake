@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_dsp.dir/complex_ops.cc.o"
+  "CMakeFiles/bloc_dsp.dir/complex_ops.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/eig.cc.o"
+  "CMakeFiles/bloc_dsp.dir/eig.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/fft.cc.o"
+  "CMakeFiles/bloc_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/fir.cc.o"
+  "CMakeFiles/bloc_dsp.dir/fir.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/grid2d.cc.o"
+  "CMakeFiles/bloc_dsp.dir/grid2d.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/peaks.cc.o"
+  "CMakeFiles/bloc_dsp.dir/peaks.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/rng.cc.o"
+  "CMakeFiles/bloc_dsp.dir/rng.cc.o.d"
+  "CMakeFiles/bloc_dsp.dir/stats.cc.o"
+  "CMakeFiles/bloc_dsp.dir/stats.cc.o.d"
+  "libbloc_dsp.a"
+  "libbloc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_eval.dir/metrics.cc.o"
+  "CMakeFiles/bloc_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/bloc_eval.dir/report.cc.o"
+  "CMakeFiles/bloc_eval.dir/report.cc.o.d"
+  "libbloc_eval.a"
+  "libbloc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

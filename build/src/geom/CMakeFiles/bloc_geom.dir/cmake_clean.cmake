@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_geom.dir/room.cc.o"
+  "CMakeFiles/bloc_geom.dir/room.cc.o.d"
+  "CMakeFiles/bloc_geom.dir/segment.cc.o"
+  "CMakeFiles/bloc_geom.dir/segment.cc.o.d"
+  "libbloc_geom.a"
+  "libbloc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

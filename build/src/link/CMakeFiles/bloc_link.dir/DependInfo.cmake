@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/channel_map.cc" "src/link/CMakeFiles/bloc_link.dir/channel_map.cc.o" "gcc" "src/link/CMakeFiles/bloc_link.dir/channel_map.cc.o.d"
+  "/root/repo/src/link/connection.cc" "src/link/CMakeFiles/bloc_link.dir/connection.cc.o" "gcc" "src/link/CMakeFiles/bloc_link.dir/connection.cc.o.d"
+  "/root/repo/src/link/csa2.cc" "src/link/CMakeFiles/bloc_link.dir/csa2.cc.o" "gcc" "src/link/CMakeFiles/bloc_link.dir/csa2.cc.o.d"
+  "/root/repo/src/link/hopping.cc" "src/link/CMakeFiles/bloc_link.dir/hopping.cc.o" "gcc" "src/link/CMakeFiles/bloc_link.dir/hopping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_link.dir/channel_map.cc.o"
+  "CMakeFiles/bloc_link.dir/channel_map.cc.o.d"
+  "CMakeFiles/bloc_link.dir/connection.cc.o"
+  "CMakeFiles/bloc_link.dir/connection.cc.o.d"
+  "CMakeFiles/bloc_link.dir/csa2.cc.o"
+  "CMakeFiles/bloc_link.dir/csa2.cc.o.d"
+  "CMakeFiles/bloc_link.dir/hopping.cc.o"
+  "CMakeFiles/bloc_link.dir/hopping.cc.o.d"
+  "libbloc_link.a"
+  "libbloc_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

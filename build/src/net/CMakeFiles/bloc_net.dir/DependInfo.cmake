@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collector.cc" "src/net/CMakeFiles/bloc_net.dir/collector.cc.o" "gcc" "src/net/CMakeFiles/bloc_net.dir/collector.cc.o.d"
+  "/root/repo/src/net/messages.cc" "src/net/CMakeFiles/bloc_net.dir/messages.cc.o" "gcc" "src/net/CMakeFiles/bloc_net.dir/messages.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/bloc_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/bloc_net.dir/transport.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/bloc_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/bloc_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anchor/CMakeFiles/bloc_anchor.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bloc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bloc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

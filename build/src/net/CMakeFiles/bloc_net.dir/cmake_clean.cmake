@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_net.dir/collector.cc.o"
+  "CMakeFiles/bloc_net.dir/collector.cc.o.d"
+  "CMakeFiles/bloc_net.dir/messages.cc.o"
+  "CMakeFiles/bloc_net.dir/messages.cc.o.d"
+  "CMakeFiles/bloc_net.dir/transport.cc.o"
+  "CMakeFiles/bloc_net.dir/transport.cc.o.d"
+  "CMakeFiles/bloc_net.dir/wire.cc.o"
+  "CMakeFiles/bloc_net.dir/wire.cc.o.d"
+  "libbloc_net.a"
+  "libbloc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

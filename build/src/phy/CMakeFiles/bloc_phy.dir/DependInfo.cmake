@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bits.cc" "src/phy/CMakeFiles/bloc_phy.dir/bits.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/bits.cc.o.d"
+  "/root/repo/src/phy/crc24.cc" "src/phy/CMakeFiles/bloc_phy.dir/crc24.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/crc24.cc.o.d"
+  "/root/repo/src/phy/csi_extract.cc" "src/phy/CMakeFiles/bloc_phy.dir/csi_extract.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/csi_extract.cc.o.d"
+  "/root/repo/src/phy/gfsk.cc" "src/phy/CMakeFiles/bloc_phy.dir/gfsk.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/gfsk.cc.o.d"
+  "/root/repo/src/phy/packet.cc" "src/phy/CMakeFiles/bloc_phy.dir/packet.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/packet.cc.o.d"
+  "/root/repo/src/phy/whitening.cc" "src/phy/CMakeFiles/bloc_phy.dir/whitening.cc.o" "gcc" "src/phy/CMakeFiles/bloc_phy.dir/whitening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_phy.dir/bits.cc.o"
+  "CMakeFiles/bloc_phy.dir/bits.cc.o.d"
+  "CMakeFiles/bloc_phy.dir/crc24.cc.o"
+  "CMakeFiles/bloc_phy.dir/crc24.cc.o.d"
+  "CMakeFiles/bloc_phy.dir/csi_extract.cc.o"
+  "CMakeFiles/bloc_phy.dir/csi_extract.cc.o.d"
+  "CMakeFiles/bloc_phy.dir/gfsk.cc.o"
+  "CMakeFiles/bloc_phy.dir/gfsk.cc.o.d"
+  "CMakeFiles/bloc_phy.dir/packet.cc.o"
+  "CMakeFiles/bloc_phy.dir/packet.cc.o.d"
+  "CMakeFiles/bloc_phy.dir/whitening.cc.o"
+  "CMakeFiles/bloc_phy.dir/whitening.cc.o.d"
+  "libbloc_phy.a"
+  "libbloc_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

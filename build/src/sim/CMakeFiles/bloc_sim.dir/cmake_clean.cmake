@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_sim.dir/cli.cc.o"
+  "CMakeFiles/bloc_sim.dir/cli.cc.o.d"
+  "CMakeFiles/bloc_sim.dir/experiment.cc.o"
+  "CMakeFiles/bloc_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/bloc_sim.dir/measurement.cc.o"
+  "CMakeFiles/bloc_sim.dir/measurement.cc.o.d"
+  "CMakeFiles/bloc_sim.dir/scenario.cc.o"
+  "CMakeFiles/bloc_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/bloc_sim.dir/testbed.cc.o"
+  "CMakeFiles/bloc_sim.dir/testbed.cc.o.d"
+  "libbloc_sim.a"
+  "libbloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloc_track.dir/kalman.cc.o"
+  "CMakeFiles/bloc_track.dir/kalman.cc.o.d"
+  "libbloc_track.a"
+  "libbloc_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloc_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloc_correction.dir/test_bloc_correction.cc.o"
+  "CMakeFiles/test_bloc_correction.dir/test_bloc_correction.cc.o.d"
+  "test_bloc_correction"
+  "test_bloc_correction.pdb"
+  "test_bloc_correction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloc_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloc_invariants.dir/test_bloc_invariants.cc.o"
+  "CMakeFiles/test_bloc_invariants.dir/test_bloc_invariants.cc.o.d"
+  "test_bloc_invariants"
+  "test_bloc_invariants.pdb"
+  "test_bloc_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloc_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloc_localizer.dir/test_bloc_localizer.cc.o"
+  "CMakeFiles/test_bloc_localizer.dir/test_bloc_localizer.cc.o.d"
+  "test_bloc_localizer"
+  "test_bloc_localizer.pdb"
+  "test_bloc_localizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloc_localizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloc_multipath.dir/test_bloc_multipath.cc.o"
+  "CMakeFiles/test_bloc_multipath.dir/test_bloc_multipath.cc.o.d"
+  "test_bloc_multipath"
+  "test_bloc_multipath.pdb"
+  "test_bloc_multipath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloc_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloc_spectra.dir/test_bloc_spectra.cc.o"
+  "CMakeFiles/test_bloc_spectra.dir/test_bloc_spectra.cc.o.d"
+  "test_bloc_spectra"
+  "test_bloc_spectra.pdb"
+  "test_bloc_spectra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloc_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_complex_ops.dir/test_dsp_complex_ops.cc.o"
+  "CMakeFiles/test_dsp_complex_ops.dir/test_dsp_complex_ops.cc.o.d"
+  "test_dsp_complex_ops"
+  "test_dsp_complex_ops.pdb"
+  "test_dsp_complex_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_complex_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_eig.dir/test_dsp_eig.cc.o"
+  "CMakeFiles/test_dsp_eig.dir/test_dsp_eig.cc.o.d"
+  "test_dsp_eig"
+  "test_dsp_eig.pdb"
+  "test_dsp_eig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsp_fft.cc" "tests/CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cc.o" "gcc" "tests/CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/bloc_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bloc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloc/CMakeFiles/bloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/anchor/CMakeFiles/bloc_anchor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bloc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/bloc_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bloc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bloc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bloc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bloc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_grid_peaks.dir/test_dsp_grid_peaks.cc.o"
+  "CMakeFiles/test_dsp_grid_peaks.dir/test_dsp_grid_peaks.cc.o.d"
+  "test_dsp_grid_peaks"
+  "test_dsp_grid_peaks.pdb"
+  "test_dsp_grid_peaks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_grid_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

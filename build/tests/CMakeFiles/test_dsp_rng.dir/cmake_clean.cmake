@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_rng.dir/test_dsp_rng.cc.o"
+  "CMakeFiles/test_dsp_rng.dir/test_dsp_rng.cc.o.d"
+  "test_dsp_rng"
+  "test_dsp_rng.pdb"
+  "test_dsp_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

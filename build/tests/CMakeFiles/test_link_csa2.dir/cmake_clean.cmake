@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_csa2.dir/test_link_csa2.cc.o"
+  "CMakeFiles/test_link_csa2.dir/test_link_csa2.cc.o.d"
+  "test_link_csa2"
+  "test_link_csa2.pdb"
+  "test_link_csa2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_csa2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

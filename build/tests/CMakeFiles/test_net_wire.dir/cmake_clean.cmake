@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_wire.dir/test_net_wire.cc.o"
+  "CMakeFiles/test_net_wire.dir/test_net_wire.cc.o.d"
+  "test_net_wire"
+  "test_net_wire.pdb"
+  "test_net_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

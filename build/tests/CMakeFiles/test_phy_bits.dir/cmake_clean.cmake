@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_bits.dir/test_phy_bits.cc.o"
+  "CMakeFiles/test_phy_bits.dir/test_phy_bits.cc.o.d"
+  "test_phy_bits"
+  "test_phy_bits.pdb"
+  "test_phy_bits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_csi.dir/test_phy_csi.cc.o"
+  "CMakeFiles/test_phy_csi.dir/test_phy_csi.cc.o.d"
+  "test_phy_csi"
+  "test_phy_csi.pdb"
+  "test_phy_csi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_gfsk.dir/test_phy_gfsk.cc.o"
+  "CMakeFiles/test_phy_gfsk.dir/test_phy_gfsk.cc.o.d"
+  "test_phy_gfsk"
+  "test_phy_gfsk.pdb"
+  "test_phy_gfsk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_gfsk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
