@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
       core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
       config.scoring.a = a;
       config.scoring.b = b;
-      const std::vector<double> errors = sim::EvaluateBloc(dataset, config);
+      const std::vector<double> errors =
+          sim::EvaluateBloc(dataset, config, setup.threads);
       const auto stats = eval::ComputeStats(errors);
       rows.push_back({eval::Fmt(a, 2), eval::Fmt(b, 2),
                       bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});

@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
     if (sweep[i].channels < 37) {
       config.allowed_channels = CenteredChannels(sweep[i].channels);
     }
-    const std::vector<double> errors = sim::EvaluateBloc(dataset, config);
+    const std::vector<double> errors =
+        sim::EvaluateBloc(dataset, config, setup.threads);
     const auto stats = eval::ComputeStats(errors);
     rows.push_back({eval::Fmt(sweep[i].bandwidth_mhz, 0),
                     std::to_string(sweep[i].channels),

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   for (const Case& c : cases) {
     core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
     config.allowed_channels = c.map.UsedChannels();
-    const std::vector<double> errors = sim::EvaluateBloc(dataset, config);
+    const std::vector<double> errors =
+        sim::EvaluateBloc(dataset, config, setup.threads);
     const auto stats = eval::ComputeStats(errors);
     rows.push_back({c.label, std::to_string(c.map.UsedCount()),
                     bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   for (const Case& c : cases) {
     core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
     config.scoring.mode = c.mode;
-    const std::vector<double> errors = sim::EvaluateBloc(dataset, config);
+    const std::vector<double> errors =
+        sim::EvaluateBloc(dataset, config, setup.threads);
     series.push_back({c.label, dsp::MakeCdf(errors)});
     const auto stats = eval::ComputeStats(errors);
     rows.push_back(

@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "bloc/localizer.h"
+#include "bloc/engine.h"
 #include "eval/metrics.h"
 
 int main(int argc, char** argv) {
@@ -25,15 +25,17 @@ int main(int argc, char** argv) {
   bins.resolution = 0.5;
   eval::RmseHeatmap heatmap(bins);
 
-  const core::Localizer localizer(dataset.deployment,
-                                  sim::PaperLocalizerConfig(dataset));
+  core::LocalizationEngine engine(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset),
+                                  {.threads = setup.threads});
+  const std::vector<core::LocationResult> results =
+      engine.LocateBatch(dataset.rounds);
   std::vector<double> corner_errors, center_errors;
   const double w = setup.scenario.room_width;
   const double h = setup.scenario.room_height;
-  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
-    const auto result = localizer.Locate(dataset.rounds[i]);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     const double err =
-        eval::LocalizationError(result.position, dataset.truths[i]);
+        eval::LocalizationError(results[i].position, dataset.truths[i]);
     heatmap.Add(dataset.truths[i], err);
     const geom::Vec2& t = dataset.truths[i];
     const double corner_dist =

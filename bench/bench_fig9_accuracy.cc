@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const sim::Dataset dataset = bench::GenerateWithProgress(setup);
 
   const std::vector<double> bloc_errors =
-      sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset));
+      sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset),
+                        setup.threads);
 
   baseline::AoaBaselineConfig aoa;
   aoa.grid = dataset.room_grid;

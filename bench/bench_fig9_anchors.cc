@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     for (const auto& subset : SubsetsWith(all_ids, count, master_id)) {
       core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
       config.allowed_anchors = subset;
-      bloc_runs.push_back(sim::EvaluateBloc(dataset, config));
+      bloc_runs.push_back(sim::EvaluateBloc(dataset, config, setup.threads));
     }
     const std::vector<double> bloc_errors = AverageOverSubsets(bloc_runs);
 

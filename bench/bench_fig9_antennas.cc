@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     core::LocalizerConfig bloc_config = sim::PaperLocalizerConfig(dataset);
     bloc_config.max_antennas = antennas;
     const std::vector<double> bloc_errors =
-        sim::EvaluateBloc(dataset, bloc_config);
+        sim::EvaluateBloc(dataset, bloc_config, setup.threads);
 
     baseline::AoaBaselineConfig aoa_config;
     aoa_config.grid = dataset.room_grid;

@@ -1,11 +1,26 @@
 // Performance microbenchmarks (google-benchmark): throughput of the
 // pipeline stages — GFSK modulation, CSI extraction, path solving, corrected
-// channels, the joint likelihood map, and the wire codec.
+// channels, the joint likelihood map, the wire codec, and the threaded
+// localization engine.
+//
+// After the microbenchmarks, a rounds/sec sweep of the engine runs for
+// threads in {1, 2, 4} on the fig9 workload; pass --json=PATH to dump the
+// sweep as machine-readable JSON (the perf trajectory baseline),
+// --sweep-rounds=N to size the batch, --no-micro to skip the
+// google-benchmark section.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "bloc/corrected_channel.h"
 #include "dsp/complex_ops.h"
-#include "bloc/localizer.h"
+#include "bloc/engine.h"
 #include "dsp/fft.h"
 #include "net/messages.h"
 #include "phy/csi_extract.h"
@@ -107,6 +122,34 @@ void BM_LocateEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_LocateEndToEnd);
 
+/// Same workload through the engine with a reused workspace — the delta
+/// vs BM_LocateEndToEnd is the per-round allocation cost.
+void BM_LocateWorkspaceReuse(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  const core::Localizer localizer(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset));
+  core::LocalizerWorkspace ws;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        localizer.Locate(dataset.rounds[i++ % dataset.rounds.size()], ws));
+  }
+}
+BENCHMARK(BM_LocateWorkspaceReuse);
+
+void BM_LocateBatch(benchmark::State& state) {
+  const sim::Dataset& dataset = SharedDataset();
+  core::LocalizationEngine engine(
+      dataset.deployment, sim::PaperLocalizerConfig(dataset),
+      {.threads = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.LocateBatch(dataset.rounds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset.rounds.size()));
+}
+BENCHMARK(BM_LocateBatch)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_WireRoundTrip(benchmark::State& state) {
   const sim::Dataset& dataset = SharedDataset();
   const net::CsiReportMsg msg{dataset.rounds[0].reports[0]};
@@ -121,6 +164,109 @@ void BM_WireRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireRoundTrip);
 
+struct SweepPoint {
+  std::size_t threads = 0;
+  double rounds_per_sec = 0.0;
+};
+
+/// Measures engine throughput (rounds/sec) on the fig9 workload for
+/// threads in {1, 2, 4}; the thread counts stay fixed across machines so
+/// successive runs are comparable.
+std::vector<SweepPoint> RunThroughputSweep(std::size_t batch_rounds) {
+  std::cerr << "generating fig9 workload (" << batch_rounds
+            << " rounds) for the throughput sweep...\n";
+  sim::DatasetOptions options;
+  options.locations = batch_rounds;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t threads : {1, 2, 4}) {
+    core::LocalizationEngine engine(dataset.deployment,
+                                    sim::PaperLocalizerConfig(dataset),
+                                    {.threads = threads});
+    engine.LocateBatch(dataset.rounds);  // warm up workspaces
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t rounds_done = 0;
+    double elapsed = 0.0;
+    do {
+      benchmark::DoNotOptimize(engine.LocateBatch(dataset.rounds));
+      rounds_done += dataset.rounds.size();
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    } while (elapsed < 1.0);
+    sweep.push_back({threads, static_cast<double>(rounds_done) / elapsed});
+  }
+
+  std::cout << "\n=== localization engine throughput (fig9 workload, "
+            << batch_rounds << "-round batches) ===\n";
+  for (const SweepPoint& p : sweep) {
+    std::cout << "  threads=" << p.threads << "  " << p.rounds_per_sec
+              << " rounds/sec  (x" << p.rounds_per_sec / sweep[0].rounds_per_sec
+              << " vs threads=1)\n";
+  }
+  return sweep;
+}
+
+void WriteSweepJson(const std::string& path,
+                    const std::vector<SweepPoint>& sweep,
+                    std::size_t batch_rounds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_perf: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"workload\": \"fig9\",\n"
+      << "  \"rounds_per_batch\": " << batch_rounds << ",\n"
+      << "  \"grid_resolution\": 0.075,\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    {\"threads\": " << sweep[i].threads
+        << ", \"rounds_per_sec\": " << sweep[i].rounds_per_sec
+        << ", \"speedup_vs_1\": "
+        << sweep[i].rounds_per_sec / sweep[0].rounds_per_sec << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "  wrote " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split off our flags; google-benchmark aborts on ones it doesn't know.
+  std::string json_path;
+  std::size_t sweep_rounds = 8;
+  bool run_micro = true;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--json=")) {
+      json_path = arg.substr(7);
+    } else if (arg.starts_with("--sweep-rounds=")) {
+      sweep_rounds = std::stoul(std::string(arg.substr(15)));
+    } else if (arg == "--no-micro") {
+      run_micro = false;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  if (run_micro) {
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const std::vector<SweepPoint> sweep = RunThroughputSweep(sweep_rounds);
+  if (!json_path.empty()) WriteSweepJson(json_path, sweep, sweep_rounds);
+  return 0;
+}

@@ -17,9 +17,11 @@ struct BenchSetup {
   sim::ScenarioConfig scenario;
   sim::DatasetOptions options;
   std::string csv_path;
+  /// Engine worker threads (--threads=N, default hardware_concurrency).
+  std::size_t threads = 1;
 };
 
-/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R.
+/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R --threads=N.
 inline BenchSetup ParseSetup(int argc, char** argv,
                              std::size_t default_locations = 250) {
   sim::CliArgs args(argc, argv);
@@ -28,6 +30,7 @@ inline BenchSetup ParseSetup(int argc, char** argv,
   setup.options.locations = args.SizeT("locations", default_locations);
   setup.options.grid_resolution = args.Double("resolution", 0.075);
   setup.csv_path = args.Str("csv", "");
+  setup.threads = args.Threads();
   return setup;
 }
 

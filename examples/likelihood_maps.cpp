@@ -3,10 +3,10 @@
 //  (b) a single anchor's relative-distance likelihood (hyperbolic bands),
 //  (c) the joint angle x distance likelihood, and the all-anchor fusion.
 //
-//   ./likelihood_maps [--seed=1]
+//   ./likelihood_maps [--seed=1] [--threads=N]
 #include <iostream>
 
-#include "bloc/localizer.h"
+#include "bloc/engine.h"
 #include "bloc/spectra.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -69,8 +69,10 @@ int main(int argc, char** argv) {
   core::LocalizerConfig config;
   config.grid = grid;
   config.keep_map = true;
-  const core::Localizer localizer(deployment, config);
-  const core::LocationResult result = localizer.Locate(round);
+  // Engine path: the per-anchor maps above are recomputed concurrently.
+  core::LocalizationEngine engine(deployment, config,
+                                  {.threads = args.Threads()});
+  const core::LocationResult result = engine.Locate(round);
   eval::PrintHeatmap(std::cout, *result.fused_map);
   std::cout << "\nBLoc estimate: (" << eval::Fmt(result.position.x, 2) << ", "
             << eval::Fmt(result.position.y, 2) << "), error "

@@ -1,10 +1,11 @@
 // Quickstart: build the paper's testbed, run a few measurement rounds and
-// localize the tag with BLoc.
+// localize the tag with BLoc. Rounds go through the staged
+// LocalizationEngine, which spreads the work over --threads workers.
 //
-//   ./quickstart [--locations=5] [--seed=1]
+//   ./quickstart [--locations=5] [--seed=1] [--threads=N]
 #include <iostream>
 
-#include "bloc/localizer.h"
+#include "bloc/engine.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "sim/cli.h"
@@ -24,13 +25,16 @@ int main(int argc, char** argv) {
             << scenario.anchors.size() << " anchors\n\n";
 
   const sim::Dataset dataset = sim::GenerateDataset(scenario, options);
-  const core::Localizer localizer(dataset.deployment,
-                                  sim::PaperLocalizerConfig(dataset));
+  core::LocalizationEngine engine(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset),
+                                  {.threads = args.Threads()});
+  const std::vector<core::LocationResult> results =
+      engine.LocateBatch(dataset.rounds);
 
   std::vector<std::vector<std::string>> rows;
   std::vector<double> errors;
-  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
-    const core::LocationResult result = localizer.Locate(dataset.rounds[i]);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::LocationResult& result = results[i];
     const double err =
         eval::LocalizationError(result.position, dataset.truths[i]);
     errors.push_back(err);

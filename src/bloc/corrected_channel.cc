@@ -9,56 +9,103 @@ using anchor::BandMeasurement;
 using anchor::CsiReport;
 using dsp::cplx;
 
-CorrectedChannels ComputeCorrectedChannels(
-    const net::MeasurementRound& round) {
-  const CsiReport* master = nullptr;
-  for (const CsiReport& r : round.reports) {
-    if (r.is_master) {
-      if (master != nullptr) {
-        throw std::invalid_argument("corrected channels: multiple masters");
-      }
-      master = &r;
+void RoundView::Begin(const net::MeasurementRound& r) {
+  round = &r;
+  num_reports_ = 0;
+}
+
+RoundView::ReportView& RoundView::Append(std::size_t report_index) {
+  if (num_reports_ == pool_.size()) pool_.emplace_back();
+  ReportView& rv = pool_[num_reports_++];
+  rv.report_index = report_index;
+  rv.bands.clear();
+  return rv;
+}
+
+void RoundView::AssignAll(const net::MeasurementRound& r) {
+  Begin(r);
+  for (std::size_t i = 0; i < r.reports.size(); ++i) {
+    ReportView& rv = Append(i);
+    for (std::size_t k = 0; k < r.reports[i].bands.size(); ++k) {
+      rv.bands.push_back(k);
     }
   }
-  if (master == nullptr) {
+}
+
+const BandMeasurement* RoundView::FindBand(std::size_t i,
+                                           std::uint8_t data_channel) const {
+  const CsiReport& report = Report(i);
+  for (std::size_t k : pool_[i].bands) {
+    if (report.bands[k].data_channel == data_channel) {
+      return &report.bands[k];
+    }
+  }
+  return nullptr;
+}
+
+void ComputeCorrectedChannelsInto(const RoundView& view,
+                                  CorrectedChannels& out) {
+  std::size_t master_index = view.num_reports();
+  for (std::size_t i = 0; i < view.num_reports(); ++i) {
+    if (view.Report(i).is_master) {
+      if (master_index != view.num_reports()) {
+        throw std::invalid_argument("corrected channels: multiple masters");
+      }
+      master_index = i;
+    }
+  }
+  if (master_index == view.num_reports()) {
     throw std::invalid_argument("corrected channels: no master report");
   }
+  const CsiReport& master = view.Report(master_index);
 
-  // Bands present in every report (channel hops can be lost to noise).
-  std::vector<std::uint8_t> common;
-  for (const BandMeasurement& b : master->bands) {
+  // Bands present in every kept report (channel hops can be lost to noise).
+  // The scratch is thread_local so per-round recomputation stays
+  // allocation-free; each engine worker has its own copy.
+  thread_local std::vector<std::uint8_t> common;
+  common.clear();
+  for (std::size_t k : view.View(master_index).bands) {
+    const std::uint8_t channel = master.bands[k].data_channel;
     bool everywhere = true;
-    for (const CsiReport& r : round.reports) {
-      if (r.FindBand(b.data_channel) == nullptr) {
+    for (std::size_t i = 0; i < view.num_reports(); ++i) {
+      if (view.FindBand(i, channel) == nullptr) {
         everywhere = false;
         break;
       }
     }
-    if (everywhere) common.push_back(b.data_channel);
+    if (everywhere) common.push_back(channel);
   }
   if (common.empty()) {
     throw std::invalid_argument("corrected channels: no common bands");
   }
-  std::sort(common.begin(), common.end(), [&](std::uint8_t a, std::uint8_t b) {
-    return master->FindBand(a)->freq_hz < master->FindBand(b)->freq_hz;
-  });
+  std::sort(common.begin(), common.end(),
+            [&](std::uint8_t a, std::uint8_t b) {
+              return view.FindBand(master_index, a)->freq_hz <
+                     view.FindBand(master_index, b)->freq_hz;
+            });
 
-  CorrectedChannels out;
-  out.band_channels = common;
+  out.band_channels.assign(common.begin(), common.end());
+  out.band_freqs_hz.clear();
   out.band_freqs_hz.reserve(common.size());
   for (std::uint8_t c : common) {
-    out.band_freqs_hz.push_back(master->FindBand(c)->freq_hz);
+    out.band_freqs_hz.push_back(view.FindBand(master_index, c)->freq_hz);
   }
 
-  for (const CsiReport& r : round.reports) {
-    AnchorCorrected ac;
+  out.anchors.resize(view.num_reports());
+  for (std::size_t i = 0; i < view.num_reports(); ++i) {
+    const CsiReport& r = view.Report(i);
+    AnchorCorrected& ac = out.anchors[i];
     ac.anchor_id = r.anchor_id;
     ac.is_master = r.is_master;
-    const std::size_t antennas = r.bands.front().tag_csi.size();
-    ac.alpha.assign(antennas, dsp::CVec(common.size(), cplx{0, 0}));
+    const std::size_t antennas =
+        r.bands[view.View(i).bands.front()].tag_csi.size();
+    ac.alpha.resize(antennas);
+    for (std::size_t j = 0; j < antennas; ++j) {
+      ac.alpha[j].assign(common.size(), cplx{0, 0});
+    }
     for (std::size_t k = 0; k < common.size(); ++k) {
-      const BandMeasurement* band = r.FindBand(common[k]);
-      const BandMeasurement* mband = master->FindBand(common[k]);
+      const BandMeasurement* band = view.FindBand(i, common[k]);
+      const BandMeasurement* mband = view.FindBand(master_index, common[k]);
       const cplx h00 = mband->tag_csi.at(0);
       for (std::size_t j = 0; j < antennas; ++j) {
         const cplx h_ij = band->tag_csi.at(j);
@@ -71,8 +118,15 @@ CorrectedChannels ComputeCorrectedChannels(
         }
       }
     }
-    out.anchors.push_back(std::move(ac));
   }
+}
+
+CorrectedChannels ComputeCorrectedChannels(
+    const net::MeasurementRound& round) {
+  RoundView view;
+  view.AssignAll(round);
+  CorrectedChannels out;
+  ComputeCorrectedChannelsInto(view, out);
   return out;
 }
 

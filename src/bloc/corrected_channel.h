@@ -16,10 +16,48 @@
 #include <cstdint>
 #include <vector>
 
+#include "anchor/csi_report.h"
 #include "dsp/types.h"
 #include "net/collector.h"
 
 namespace bloc::core {
+
+/// A filtered view over one MeasurementRound: index lists selecting the
+/// reports and bands to process, with no copies of the CSI payloads. View
+/// entries are pooled so a reused RoundView filters round after round
+/// without heap allocations once its high-water capacity is reached.
+struct RoundView {
+  struct ReportView {
+    std::size_t report_index = 0;
+    std::vector<std::size_t> bands;  // kept indices into the report's bands
+  };
+
+  const net::MeasurementRound* round = nullptr;
+
+  /// Starts a fresh (empty) view over `r`; keeps pooled capacity.
+  void Begin(const net::MeasurementRound& r);
+  /// Selects every report and every band of `r`.
+  void AssignAll(const net::MeasurementRound& r);
+  /// Appends report `report_index` with an empty band list and returns it.
+  ReportView& Append(std::size_t report_index);
+  /// Drops the most recently appended report (e.g. all bands filtered).
+  void RemoveLast() {
+    if (num_reports_ > 0) --num_reports_;
+  }
+
+  std::size_t num_reports() const { return num_reports_; }
+  const ReportView& View(std::size_t i) const { return pool_[i]; }
+  const anchor::CsiReport& Report(std::size_t i) const {
+    return round->reports[pool_[i].report_index];
+  }
+  /// The kept band entry for `data_channel` in report `i`, or nullptr.
+  const anchor::BandMeasurement* FindBand(std::size_t i,
+                                          std::uint8_t data_channel) const;
+
+ private:
+  std::vector<ReportView> pool_;  // only the first num_reports_ are live
+  std::size_t num_reports_ = 0;
+};
 
 struct AnchorCorrected {
   std::uint32_t anchor_id = 0;
@@ -40,5 +78,11 @@ struct CorrectedChannels {
 /// Computes corrected channels for a complete measurement round. Throws if
 /// the round has no master report or no common bands.
 CorrectedChannels ComputeCorrectedChannels(const net::MeasurementRound& round);
+
+/// In-place variant over a filtered view: writes into `out`, reusing its
+/// buffers (allocation-free in steady state for a fixed deployment shape).
+/// Same failure modes as ComputeCorrectedChannels.
+void ComputeCorrectedChannelsInto(const RoundView& view,
+                                  CorrectedChannels& out);
 
 }  // namespace bloc::core

@@ -1,0 +1,43 @@
+#include "bloc/engine.h"
+
+namespace bloc::core {
+
+LocalizationEngine::LocalizationEngine(Deployment deployment,
+                                       LocalizerConfig config,
+                                       EngineOptions options)
+    : localizer_(std::move(deployment), std::move(config)),
+      pool_(options.threads),
+      workspaces_(pool_.size()) {}
+
+LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
+  LocalizerWorkspace& ws = workspaces_[0];
+  if (!localizer_.FilterInto(round, ws.view)) return LocationResult{};
+  localizer_.CorrectInto(ws.view, ws.corrected);
+  localizer_.FuseOrder(ws.corrected, ws.fuse_order);
+
+  const std::size_t n = ws.fuse_order.size();
+  if (ws.anchor_maps.size() < n) ws.anchor_maps.resize(n);
+  if (ws.spectra.size() < n) ws.spectra.resize(n);
+  pool_.ParallelFor(n, [&](std::size_t i, std::size_t) {
+    localizer_.AnchorMapInto(ws.corrected, ws.fuse_order[i],
+                             ws.anchor_maps[i], ws.spectra[i]);
+  });
+
+  // Fusion stays sequential in anchor-id order: floating-point addition is
+  // not associative, so summing in completion order would break the
+  // bit-identity guarantee with the serial path.
+  ws.fused.Reset(localizer_.config().grid);
+  for (std::size_t i = 0; i < n; ++i) ws.fused.Add(ws.anchor_maps[i]);
+  return localizer_.ScoreFused(ws.fused, ws.corrected);
+}
+
+std::vector<LocationResult> LocalizationEngine::LocateBatch(
+    std::span<const net::MeasurementRound> rounds) {
+  std::vector<LocationResult> results(rounds.size());
+  pool_.ParallelFor(rounds.size(), [&](std::size_t i, std::size_t slot) {
+    results[i] = localizer_.Locate(rounds[i], workspaces_[slot]);
+  });
+  return results;
+}
+
+}  // namespace bloc::core

@@ -1,0 +1,47 @@
+// LocalizationEngine: the staged BLoc pipeline on a fixed thread pool.
+//
+// Two axes of parallelism, both with deterministic, bit-identical output to
+// the serial Localizer::Locate path:
+//  - within one round, the per-anchor joint likelihood maps are computed
+//    concurrently and fused in a fixed order (ascending anchor id);
+//  - across rounds, LocateBatch distributes rounds over the workers, each
+//    using its own preallocated LocalizerWorkspace, and writes results into
+//    index-matched slots (ordering never depends on completion order).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bloc/localizer.h"
+#include "dsp/thread_pool.h"
+
+namespace bloc::core {
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+};
+
+class LocalizationEngine {
+ public:
+  LocalizationEngine(Deployment deployment, LocalizerConfig config,
+                     EngineOptions options = {});
+
+  /// Localizes one round, computing the per-anchor maps in parallel.
+  LocationResult Locate(const net::MeasurementRound& round);
+
+  /// Localizes many rounds, distributing them across the pool. results[i]
+  /// always corresponds to rounds[i].
+  std::vector<LocationResult> LocateBatch(
+      std::span<const net::MeasurementRound> rounds);
+
+  std::size_t threads() const { return pool_.size(); }
+  const Localizer& localizer() const { return localizer_; }
+
+ private:
+  Localizer localizer_;
+  dsp::ThreadPool pool_;
+  std::vector<LocalizerWorkspace> workspaces_;  // one per pool slot
+};
+
+}  // namespace bloc::core

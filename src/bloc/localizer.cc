@@ -1,6 +1,7 @@
 #include "bloc/localizer.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 namespace bloc::core {
@@ -23,11 +24,12 @@ Localizer::Localizer(Deployment deployment, LocalizerConfig config)
   }
 }
 
-net::MeasurementRound Localizer::Filter(
-    const net::MeasurementRound& round) const {
-  net::MeasurementRound out;
-  out.round_id = round.round_id;
-  for (const anchor::CsiReport& r : round.reports) {
+bool Localizer::FilterInto(const net::MeasurementRound& round,
+                           RoundView& view) const {
+  view.Begin(round);
+  bool has_master = false;
+  for (std::size_t i = 0; i < round.reports.size(); ++i) {
+    const anchor::CsiReport& r = round.reports[i];
     if (!config_.allowed_anchors.empty()) {
       const auto& allowed = config_.allowed_anchors;
       if (std::find(allowed.begin(), allowed.end(), r.anchor_id) ==
@@ -35,58 +37,69 @@ net::MeasurementRound Localizer::Filter(
         continue;
       }
     }
-    anchor::CsiReport copy;
-    copy.anchor_id = r.anchor_id;
-    copy.is_master = r.is_master;
-    copy.round_id = r.round_id;
-    for (const anchor::BandMeasurement& b : r.bands) {
+    RoundView::ReportView& rv = view.Append(i);
+    for (std::size_t k = 0; k < r.bands.size(); ++k) {
       if (!config_.allowed_channels.empty()) {
         const auto& ch = config_.allowed_channels;
-        if (std::find(ch.begin(), ch.end(), b.data_channel) == ch.end()) {
+        if (std::find(ch.begin(), ch.end(), r.bands[k].data_channel) ==
+            ch.end()) {
           continue;
         }
       }
-      copy.bands.push_back(b);
+      rv.bands.push_back(k);
     }
-    if (!copy.bands.empty()) out.reports.push_back(std::move(copy));
-  }
-  return out;
-}
-
-CorrectedChannels Localizer::CorrectedFor(
-    const net::MeasurementRound& round) const {
-  return ComputeCorrectedChannels(Filter(round));
-}
-
-dsp::Grid2D Localizer::FusedMap(const CorrectedChannels& corrected) const {
-  dsp::Grid2D fused(config_.grid);
-  const AnchorPose* master = deployment_.Master();
-  const geom::Vec2 master_ref = master->geometry.AntennaPosition(0);
-  for (const AnchorCorrected& ac : corrected.anchors) {
-    const AnchorPose* pose = deployment_.Find(ac.anchor_id);
-    if (pose == nullptr) {
-      throw std::invalid_argument("FusedMap: report from unknown anchor");
+    if (rv.bands.empty()) {
+      view.RemoveLast();
+    } else if (r.is_master) {
+      has_master = true;
     }
-    SpectraInput input;
-    input.channels = &ac;
-    input.geometry = pose->geometry;
-    input.master_ref_antenna = master_ref;
-    input.master_ref_distance =
-        deployment_.MasterReferenceDistance(ac.anchor_id);
-    input.band_freqs_hz = corrected.band_freqs_hz;
-    input.max_antennas = config_.max_antennas;
-    dsp::Grid2D map = JointLikelihoodMap(input, config_.grid);
-    // Peak-normalize so one near anchor cannot drown the others.
-    map.NormalizePeak();
-    fused.Add(map);
   }
-  return fused;
+  return view.num_reports() > 0 && has_master;
 }
 
-LocationResult Localizer::Locate(const net::MeasurementRound& round) const {
-  const CorrectedChannels corrected = CorrectedFor(round);
-  dsp::Grid2D fused = FusedMap(corrected);
+void Localizer::CorrectInto(const RoundView& view,
+                            CorrectedChannels& out) const {
+  ComputeCorrectedChannelsInto(view, out);
+}
+
+void Localizer::FuseOrder(const CorrectedChannels& corrected,
+                          std::vector<std::size_t>& order) const {
+  order.resize(corrected.anchors.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return corrected.anchors[a].anchor_id <
+                            corrected.anchors[b].anchor_id;
+                   });
+}
+
+void Localizer::AnchorMapInto(const CorrectedChannels& corrected,
+                              std::size_t anchor_index, dsp::Grid2D& map,
+                              SpectraWorkspace& ws) const {
+  const AnchorCorrected& ac = corrected.anchors[anchor_index];
+  const AnchorPose* pose = deployment_.Find(ac.anchor_id);
+  if (pose == nullptr) {
+    throw std::invalid_argument("FusedMap: report from unknown anchor");
+  }
+  SpectraInput input;
+  input.channels = &ac;
+  input.geometry = pose->geometry;
+  input.master_ref_antenna =
+      deployment_.Master()->geometry.AntennaPosition(0);
+  input.master_ref_distance =
+      deployment_.MasterReferenceDistance(ac.anchor_id);
+  input.band_freqs_hz = corrected.band_freqs_hz;
+  input.max_antennas = config_.max_antennas;
+  map.Reset(config_.grid);
+  JointLikelihoodMapInto(input, map, ws);
+  // Peak-normalize so one near anchor cannot drown the others.
+  map.NormalizePeak();
+}
+
+LocationResult Localizer::ScoreFused(const dsp::Grid2D& fused,
+                                     const CorrectedChannels& corrected) const {
   const Selection sel = SelectLocation(fused, deployment_, config_.scoring);
+  if (sel.peaks.empty()) return LocationResult{};  // degenerate map: sentinel
 
   LocationResult result;
   result.position = sel.position;
@@ -95,9 +108,51 @@ LocationResult Localizer::Locate(const net::MeasurementRound& round) const {
   result.bands_used = corrected.num_bands();
   result.anchors_used = corrected.anchors.size();
   if (config_.keep_map) {
-    result.fused_map = std::make_shared<dsp::Grid2D>(std::move(fused));
+    result.fused_map = std::make_shared<dsp::Grid2D>(fused);
   }
   return result;
+}
+
+CorrectedChannels Localizer::CorrectedFor(
+    const net::MeasurementRound& round) const {
+  RoundView view;
+  FilterInto(round, view);
+  CorrectedChannels out;
+  ComputeCorrectedChannelsInto(view, out);
+  return out;
+}
+
+dsp::Grid2D Localizer::FusedMap(const CorrectedChannels& corrected) const {
+  dsp::Grid2D fused(config_.grid);
+  std::vector<std::size_t> order;
+  FuseOrder(corrected, order);
+  dsp::Grid2D map;
+  SpectraWorkspace ws;
+  for (std::size_t idx : order) {
+    AnchorMapInto(corrected, idx, map, ws);
+    fused.Add(map);
+  }
+  return fused;
+}
+
+LocationResult Localizer::Locate(const net::MeasurementRound& round,
+                                 LocalizerWorkspace& ws) const {
+  if (!FilterInto(round, ws.view)) return LocationResult{};
+  CorrectInto(ws.view, ws.corrected);
+  FuseOrder(ws.corrected, ws.fuse_order);
+  if (ws.anchor_maps.empty()) ws.anchor_maps.resize(1);
+  if (ws.spectra.empty()) ws.spectra.resize(1);
+  ws.fused.Reset(config_.grid);
+  for (std::size_t idx : ws.fuse_order) {
+    AnchorMapInto(ws.corrected, idx, ws.anchor_maps[0], ws.spectra[0]);
+    ws.fused.Add(ws.anchor_maps[0]);
+  }
+  return ScoreFused(ws.fused, ws.corrected);
+}
+
+LocationResult Localizer::Locate(const net::MeasurementRound& round) const {
+  LocalizerWorkspace ws;
+  return Locate(round, ws);
 }
 
 }  // namespace bloc::core

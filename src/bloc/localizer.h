@@ -1,5 +1,11 @@
 // The full BLoc pipeline (paper §5): corrected channels -> per-anchor joint
 // likelihood -> cross-anchor fusion -> multipath-rejecting peak selection.
+//
+// The pipeline is split into explicit stages (filter -> correct -> per-anchor
+// spectra -> fuse -> score) that operate on a caller-owned
+// LocalizerWorkspace, so steady-state localization reuses every buffer
+// instead of reallocating per round. LocalizationEngine (bloc/engine.h) runs
+// the same stages across a thread pool with bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -39,12 +45,35 @@ struct LocationResult {
   std::shared_ptr<const dsp::Grid2D> fused_map;
 };
 
+/// All per-round scratch of the staged pipeline. Owned by the caller (one
+/// per engine worker); every buffer is reused round after round, so the
+/// steady state performs no heap allocations for a fixed deployment shape.
+struct LocalizerWorkspace {
+  RoundView view;
+  CorrectedChannels corrected;
+  /// Anchor indices into `corrected.anchors` in fusion order (ascending
+  /// anchor id) — fixed so threaded and serial runs fuse identically.
+  std::vector<std::size_t> fuse_order;
+  /// Per-anchor map slots (the serial path reuses slot 0; the engine uses
+  /// one slot per anchor so maps can be computed concurrently).
+  std::vector<dsp::Grid2D> anchor_maps;
+  std::vector<SpectraWorkspace> spectra;
+  dsp::Grid2D fused;
+};
+
 class Localizer {
  public:
   Localizer(Deployment deployment, LocalizerConfig config);
 
-  /// Localizes the tag from one complete measurement round.
+  /// Localizes the tag from one complete measurement round. Returns a
+  /// sentinel result (score = 0, anchors_used = 0) when the round is empty
+  /// or filtering removed every usable report.
   LocationResult Locate(const net::MeasurementRound& round) const;
+
+  /// Allocation-free variant: all scratch lives in the caller's workspace.
+  /// Bit-identical to Locate(round).
+  LocationResult Locate(const net::MeasurementRound& round,
+                        LocalizerWorkspace& ws) const;
 
   /// The corrected channels after anchor/band filtering — exposed for
   /// diagnostics and the microbenchmarks.
@@ -53,12 +82,37 @@ class Localizer {
   /// Builds the fused (cross-anchor) likelihood map without peak selection.
   dsp::Grid2D FusedMap(const CorrectedChannels& corrected) const;
 
+  // --- Pipeline stages, in execution order (used by LocalizationEngine) ---
+
+  /// Filter: selects the allowed reports/bands of `round` into `view`
+  /// (index lists, no copies). Returns false when nothing usable survives —
+  /// no reports kept, or the master's report was filtered away — in which
+  /// case the caller should emit the sentinel LocationResult.
+  bool FilterInto(const net::MeasurementRound& round, RoundView& view) const;
+
+  /// Correct: phase-offset-cancelled channels for the filtered view.
+  void CorrectInto(const RoundView& view, CorrectedChannels& out) const;
+
+  /// Fusion order over `corrected.anchors`: ascending anchor id.
+  void FuseOrder(const CorrectedChannels& corrected,
+                 std::vector<std::size_t>& order) const;
+
+  /// Per-anchor spectra: the peak-normalized joint likelihood map of
+  /// `corrected.anchors[anchor_index]`, written into `map` (reshaped to the
+  /// configured grid). Safe to call concurrently for distinct anchors with
+  /// distinct `map`/`ws`.
+  void AnchorMapInto(const CorrectedChannels& corrected,
+                     std::size_t anchor_index, dsp::Grid2D& map,
+                     SpectraWorkspace& ws) const;
+
+  /// Score: multipath-rejecting peak selection over the fused map.
+  LocationResult ScoreFused(const dsp::Grid2D& fused,
+                            const CorrectedChannels& corrected) const;
+
   const Deployment& deployment() const { return deployment_; }
   const LocalizerConfig& config() const { return config_; }
 
  private:
-  net::MeasurementRound Filter(const net::MeasurementRound& round) const;
-
   Deployment deployment_;
   LocalizerConfig config_;
 };

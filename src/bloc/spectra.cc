@@ -14,40 +14,41 @@ using dsp::kTwoPi;
 
 namespace {
 
-struct BandComb {
-  double f0 = 0.0;       // lowest band frequency
-  double step = 2.0e6;   // BLE channel spacing
-  /// alpha value at integer step k (zero where no band is present).
-  /// dense[antenna][k]
-  std::vector<dsp::CVec> dense;
-  std::size_t num_steps = 0;
-};
-
 /// Re-indexes the (possibly gappy) band list onto a dense 2 MHz comb so the
-/// per-cell band sum becomes a single rotor walk.
-BandComb MakeComb(const SpectraInput& input, std::size_t antennas) {
+/// per-cell band sum becomes a single rotor walk. Writes into the workspace,
+/// reusing its buffers.
+void BuildComb(const SpectraInput& input, std::size_t antennas,
+               SpectraWorkspace& ws) {
   const auto& freqs = input.band_freqs_hz;
   if (freqs.empty()) throw std::invalid_argument("spectra: no bands");
-  BandComb comb;
-  comb.f0 = freqs.front();
+  ws.comb_f0 = freqs.front();
   std::size_t max_k = 0;
-  std::vector<std::size_t> k_of(freqs.size());
+  ws.k_of.resize(freqs.size());
   for (std::size_t i = 0; i < freqs.size(); ++i) {
-    const double delta = freqs[i] - comb.f0;
+    const double delta = freqs[i] - ws.comb_f0;
     if (delta < -1.0) throw std::invalid_argument("spectra: bands unsorted");
-    const auto k = static_cast<std::size_t>(std::llround(delta / comb.step));
-    k_of[i] = k;
+    const auto k = static_cast<std::size_t>(std::llround(delta / ws.comb_step));
+    ws.k_of[i] = k;
     max_k = std::max(max_k, k);
   }
-  comb.num_steps = max_k + 1;
-  comb.dense.assign(antennas, dsp::CVec(comb.num_steps, cplx{0, 0}));
+  ws.comb_steps = max_k + 1;
+  ws.dense.resize(antennas);
   for (std::size_t j = 0; j < antennas; ++j) {
+    ws.dense[j].assign(ws.comb_steps, cplx{0, 0});
     const dsp::CVec& alpha = input.channels->alpha[j];
     for (std::size_t i = 0; i < freqs.size(); ++i) {
-      comb.dense[j][k_of[i]] = alpha[i];
+      ws.dense[j][ws.k_of[i]] = alpha[i];
     }
   }
-  return comb;
+}
+
+/// Caches the antenna positions for the active antennas.
+void CacheAntennaPositions(const SpectraInput& input, std::size_t antennas,
+                           SpectraWorkspace& ws) {
+  ws.ant_pos.resize(antennas);
+  for (std::size_t j = 0; j < antennas; ++j) {
+    ws.ant_pos[j] = input.geometry.AntennaPosition(j);
+  }
 }
 
 std::size_t EffectiveAntennas(const SpectraInput& input) {
@@ -56,13 +57,14 @@ std::size_t EffectiveAntennas(const SpectraInput& input) {
 }
 
 /// sum_k alpha_jk e^{+j 2 pi f_k D / c} via base+step rotor walk.
-cplx BandSum(const dsp::CVec& dense, const BandComb& comb, double relative_d) {
-  const double base_phi = kTwoPi * comb.f0 * relative_d / kSpeedOfLight;
-  const double step_phi = kTwoPi * comb.step * relative_d / kSpeedOfLight;
+cplx BandSum(const dsp::CVec& dense, const SpectraWorkspace& ws,
+             double relative_d) {
+  const double base_phi = kTwoPi * ws.comb_f0 * relative_d / kSpeedOfLight;
+  const double step_phi = kTwoPi * ws.comb_step * relative_d / kSpeedOfLight;
   cplx rotor = dsp::Rotor(base_phi);
   const cplx step = dsp::Rotor(step_phi);
   cplx acc{0, 0};
-  for (std::size_t k = 0; k < comb.num_steps; ++k) {
+  for (std::size_t k = 0; k < ws.comb_steps; ++k) {
     acc += dense[k] * rotor;
     rotor *= step;
   }
@@ -71,16 +73,12 @@ cplx BandSum(const dsp::CVec& dense, const BandComb& comb, double relative_d) {
 
 }  // namespace
 
-dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
-                               const dsp::GridSpec& spec) {
+void JointLikelihoodMapInto(const SpectraInput& input, dsp::Grid2D& grid,
+                            SpectraWorkspace& ws) {
   const std::size_t antennas = EffectiveAntennas(input);
-  const BandComb comb = MakeComb(input, antennas);
-  std::vector<geom::Vec2> ant_pos;
-  for (std::size_t j = 0; j < antennas; ++j) {
-    ant_pos.push_back(input.geometry.AntennaPosition(j));
-  }
+  BuildComb(input, antennas, ws);
+  CacheAntennaPositions(input, antennas, ws);
 
-  dsp::Grid2D grid(spec);
   for (std::size_t row = 0; row < grid.rows(); ++row) {
     const double y = grid.YOf(row);
     for (std::size_t col = 0; col < grid.cols(); ++col) {
@@ -88,13 +86,20 @@ dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
       const double d_ref = geom::Distance(x, input.master_ref_antenna);
       cplx acc{0, 0};
       for (std::size_t j = 0; j < antennas; ++j) {
-        const double d = geom::Distance(x, ant_pos[j]);
+        const double d = geom::Distance(x, ws.ant_pos[j]);
         const double relative = d - d_ref - input.master_ref_distance;
-        acc += BandSum(comb.dense[j], comb, relative);
+        acc += BandSum(ws.dense[j], ws, relative);
       }
       grid.At(col, row) = std::abs(acc);
     }
   }
+}
+
+dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
+                               const dsp::GridSpec& spec) {
+  dsp::Grid2D grid(spec);
+  SpectraWorkspace ws;
+  JointLikelihoodMapInto(input, grid, ws);
   return grid;
 }
 
@@ -136,11 +141,9 @@ dsp::Grid2D AngleOnlyMap(const SpectraInput& input,
 dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
                             const dsp::GridSpec& spec) {
   const std::size_t antennas = EffectiveAntennas(input);
-  const BandComb comb = MakeComb(input, antennas);
-  std::vector<geom::Vec2> ant_pos;
-  for (std::size_t j = 0; j < antennas; ++j) {
-    ant_pos.push_back(input.geometry.AntennaPosition(j));
-  }
+  SpectraWorkspace ws;
+  BuildComb(input, antennas, ws);
+  CacheAntennaPositions(input, antennas, ws);
 
   dsp::Grid2D grid(spec);
   for (std::size_t row = 0; row < grid.rows(); ++row) {
@@ -150,9 +153,9 @@ dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
       const double d_ref = geom::Distance(x, input.master_ref_antenna);
       double p = 0.0;
       for (std::size_t j = 0; j < antennas; ++j) {
-        const double d = geom::Distance(x, ant_pos[j]);
+        const double d = geom::Distance(x, ws.ant_pos[j]);
         const double relative = d - d_ref - input.master_ref_distance;
-        p += std::abs(BandSum(comb.dense[j], comb, relative));
+        p += std::abs(BandSum(ws.dense[j], ws, relative));
       }
       grid.At(col, row) = p;
     }

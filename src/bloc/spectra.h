@@ -30,9 +30,27 @@ struct SpectraInput {
   std::size_t max_antennas = 0;
 };
 
+/// Scratch buffers for the likelihood-map kernels: the dense 2 MHz band
+/// comb and the antenna-position cache. Reusing one workspace across calls
+/// makes the in-place map variants allocation-free in steady state.
+struct SpectraWorkspace {
+  std::vector<dsp::CVec> dense;       // comb values per antenna
+  std::vector<std::size_t> k_of;      // band index -> comb step
+  std::vector<geom::Vec2> ant_pos;    // antenna positions
+  double comb_f0 = 0.0;
+  double comb_step = 2.0e6;           // BLE channel spacing
+  std::size_t comb_steps = 0;
+};
+
 /// Eq. 17: coherent combination over antennas and bands.
 dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
                                const dsp::GridSpec& spec);
+
+/// In-place variant of JointLikelihoodMap: overwrites every cell of `grid`
+/// (whose spec defines the evaluation points) using `ws` for scratch.
+/// Bit-identical to JointLikelihoodMap over the same spec.
+void JointLikelihoodMapInto(const SpectraInput& input, dsp::Grid2D& grid,
+                            SpectraWorkspace& ws);
 
 /// Eq. 15 mapped to space: per-band Bartlett angle spectra evaluated at the
 /// bearing of each grid cell, summed incoherently over bands.

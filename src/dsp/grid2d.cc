@@ -29,11 +29,18 @@ bool GridSpec::Valid() const {
   return resolution > 0 && x_max > x_min && y_max > y_min;
 }
 
-Grid2D::Grid2D(const GridSpec& spec, double fill) : spec_(spec) {
+Grid2D::Grid2D(const GridSpec& spec, double fill) { Reset(spec, fill); }
+
+void Grid2D::Reset(const GridSpec& spec, double fill) {
   if (!spec.Valid()) throw std::invalid_argument("Grid2D: invalid spec");
+  spec_ = spec;
   cols_ = spec.Cols();
   rows_ = spec.Rows();
   data_.assign(cols_ * rows_, fill);
+}
+
+void Grid2D::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
 }
 
 double& Grid2D::At(std::size_t col, std::size_t row) {

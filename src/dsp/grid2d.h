@@ -29,6 +29,14 @@ class Grid2D {
   Grid2D() = default;
   explicit Grid2D(const GridSpec& spec, double fill = 0.0);
 
+  /// Re-shapes the grid for `spec` and sets every cell to `fill`, reusing
+  /// the existing allocation when capacity allows. After the first call
+  /// with a given spec, repeated Resets are allocation-free.
+  void Reset(const GridSpec& spec, double fill = 0.0);
+
+  /// Sets every cell to `value` without changing the shape.
+  void Fill(double value);
+
   double& At(std::size_t col, std::size_t row);
   double At(std::size_t col, std::size_t row) const;
 

@@ -1,0 +1,109 @@
+#include "dsp/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace bloc::dsp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  size_ = num_threads;
+  if (size_ == 1) return;  // inline mode: no workers, no queue traffic
+  workers_.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  if (workers_.empty()) {
+    (*packaged)();  // size 1: run inline
+  } else {
+    Enqueue([packaged] { (*packaged)(); });
+  }
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  const std::size_t slots = std::min(size_, n);
+  state->remaining.store(slots);
+
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    // fn outlives the tasks: this call blocks until every slot finishes.
+    Enqueue([state, &fn, slot, n] {
+      try {
+        for (std::size_t i; (i = state->next.fetch_add(1)) < n;) {
+          fn(i, slot);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        // Stop handing out further indices after a failure.
+        state->next.store(n);
+      }
+      if (state->remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining.load() == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace bloc::dsp

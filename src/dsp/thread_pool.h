@@ -1,0 +1,57 @@
+// A small fixed-size worker pool for the localization engine. std::thread +
+// a mutex-guarded task queue, no external dependencies. A pool of size 1
+// owns no threads at all: Submit and ParallelFor run inline on the calling
+// thread, so single-threaded users pay zero scheduling overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bloc::dsp {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains already-submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution slots (>= 1). ParallelFor passes slot ids in
+  /// [0, size()) to its body, so callers can keep one workspace per slot.
+  std::size_t size() const { return size_; }
+
+  /// Enqueues a task; the future reports completion and rethrows any
+  /// exception the task raised.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(index, slot) for every index in [0, n), distributing indices
+  /// across the workers, and blocks until all complete. Each slot id is
+  /// used by exactly one thread per call. The first exception thrown by
+  /// any invocation is rethrown here (remaining indices may be skipped).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t index,
+                                            std::size_t slot)>& fn) const;
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task) const;
+
+  std::size_t size_ = 1;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bloc::dsp

@@ -1,7 +1,9 @@
 #include "sim/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <thread>
 
 namespace bloc::sim {
 
@@ -51,6 +53,12 @@ std::string CliArgs::Str(const std::string& key,
 bool CliArgs::Flag(const std::string& key) const {
   const auto it = values_.find(key);
   return it != values_.end() && it->second != "0";
+}
+
+std::size_t CliArgs::Threads(const std::string& key) const {
+  const std::size_t n = SizeT(key, 0);
+  if (n > 0) return n;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 }  // namespace bloc::sim

@@ -18,6 +18,9 @@ class CliArgs {
   std::string Str(const std::string& key, const std::string& fallback) const;
   bool Flag(const std::string& key) const;
 
+  /// --threads=N; absent or 0 means std::thread::hardware_concurrency().
+  std::size_t Threads(const std::string& key = "threads") const;
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -66,14 +66,17 @@ Dataset GenerateDataset(const ScenarioConfig& config,
 }
 
 std::vector<double> EvaluateBloc(const Dataset& dataset,
-                                 const core::LocalizerConfig& config) {
-  const core::Localizer localizer(dataset.deployment, config);
+                                 const core::LocalizerConfig& config,
+                                 std::size_t threads) {
+  core::LocalizationEngine engine(dataset.deployment, config,
+                                  {.threads = threads});
+  const std::vector<core::LocationResult> results =
+      engine.LocateBatch(dataset.rounds);
   std::vector<double> errors;
-  errors.reserve(dataset.rounds.size());
-  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
-    const core::LocationResult result = localizer.Locate(dataset.rounds[i]);
+  errors.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
     errors.push_back(
-        eval::LocalizationError(result.position, dataset.truths[i]));
+        eval::LocalizationError(results[i].position, dataset.truths[i]));
   }
   return errors;
 }

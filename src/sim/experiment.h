@@ -12,6 +12,7 @@
 
 #include "baseline/aoa_baseline.h"
 #include "baseline/rssi_baseline.h"
+#include "bloc/engine.h"
 #include "bloc/localizer.h"
 #include "net/collector.h"
 #include "sim/measurement.h"
@@ -47,8 +48,12 @@ Dataset GenerateDataset(const ScenarioConfig& config,
                         const DatasetOptions& options);
 
 /// Localization errors (metres) of the BLoc pipeline over the dataset.
+/// Rounds are processed by a LocalizationEngine batch with `threads`
+/// workers (0 = hardware_concurrency); results are bit-identical for every
+/// thread count.
 std::vector<double> EvaluateBloc(const Dataset& dataset,
-                                 const core::LocalizerConfig& config);
+                                 const core::LocalizerConfig& config,
+                                 std::size_t threads = 0);
 
 /// Errors of the AoA-combining baseline over the dataset.
 std::vector<double> EvaluateAoa(const Dataset& dataset,

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dsp/thread_pool.h"
+
+namespace bloc::dsp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(),
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id submit_thread, for_thread;
+  pool.Submit([&] { submit_thread = std::this_thread::get_id(); }).get();
+  pool.ParallelFor(3, [&](std::size_t, std::size_t slot) {
+    for_thread = std::this_thread::get_id();
+    EXPECT_EQ(slot, 0u);
+  });
+  EXPECT_EQ(submit_thread, caller);
+  EXPECT_EQ(for_thread, caller);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](std::size_t i, std::size_t slot) {
+    EXPECT_LT(slot, pool.size());
+    ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithMoreSlotsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(50,
+                                [](std::size_t i, std::size_t) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a failed ParallelFor and keeps scheduling.
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++count;
+      });
+    }
+    // Destructor runs here: already-submitted tasks must all complete.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace bloc::dsp
