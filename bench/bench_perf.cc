@@ -3,11 +3,12 @@
 // channels, the joint likelihood map, the wire codec, and the threaded
 // localization engine.
 //
-// After the microbenchmarks, a rounds/sec sweep of the engine runs for
-// threads in {1, 2, 4} on the fig9 workload; pass --json=PATH to dump the
-// sweep as machine-readable JSON (the perf trajectory baseline),
-// --sweep-rounds=N to size the batch, --no-micro to skip the
-// google-benchmark section.
+// After the microbenchmarks, two regression sweeps run on the fig9
+// workload: a single-thread comparison of the Eq. 17 kernels (steering-plan
+// vs naive reference, ms per fused 4-anchor map) and a rounds/sec engine
+// sweep for threads in {1, 2, 4}. Pass --json=PATH to dump both as
+// machine-readable JSON (the perf trajectory baseline), --sweep-rounds=N to
+// size the batch, --no-micro to skip the google-benchmark section.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -98,17 +99,31 @@ void BM_CorrectedChannels(benchmark::State& state) {
 }
 BENCHMARK(BM_CorrectedChannels);
 
-void BM_JointLikelihoodMap(benchmark::State& state) {
+/// Fused 4-anchor likelihood map with the given Eq. 17 kernel. The
+/// steering-plan variant measures the steady state: plans are built on the
+/// first iteration and cached inside the localizer afterwards.
+void RunJointLikelihoodMap(benchmark::State& state,
+                           core::LikelihoodKernel kernel) {
   const sim::Dataset& dataset = SharedDataset();
   const core::CorrectedChannels corrected =
       core::ComputeCorrectedChannels(dataset.rounds[0]);
-  const core::Localizer localizer(dataset.deployment,
-                                  sim::PaperLocalizerConfig(dataset));
+  core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+  config.spectra.kernel = kernel;
+  const core::Localizer localizer(dataset.deployment, config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(localizer.FusedMap(corrected));
   }
 }
+
+void BM_JointLikelihoodMap(benchmark::State& state) {
+  RunJointLikelihoodMap(state, core::LikelihoodKernel::kSteeringPlan);
+}
 BENCHMARK(BM_JointLikelihoodMap);
+
+void BM_JointLikelihoodMapReference(benchmark::State& state) {
+  RunJointLikelihoodMap(state, core::LikelihoodKernel::kReference);
+}
+BENCHMARK(BM_JointLikelihoodMapReference);
 
 void BM_LocateEndToEnd(benchmark::State& state) {
   const sim::Dataset& dataset = SharedDataset();
@@ -169,6 +184,61 @@ struct SweepPoint {
   double rounds_per_sec = 0.0;
 };
 
+struct KernelComparison {
+  double reference_ms_per_map = 0.0;
+  double plan_ms_per_map = 0.0;
+  double speedup = 0.0;
+};
+
+/// Times one fused likelihood map per kernel; at least `min_seconds` of
+/// repetitions each, single-threaded, same fig9 corrected channels.
+double TimeFusedMap(const sim::Dataset& dataset,
+                    const core::CorrectedChannels& corrected,
+                    core::LikelihoodKernel kernel, double min_seconds = 0.5) {
+  core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+  config.spectra.kernel = kernel;
+  const core::Localizer localizer(dataset.deployment, config);
+  benchmark::DoNotOptimize(localizer.FusedMap(corrected));  // warm-up/plans
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t maps = 0;
+  double elapsed = 0.0;
+  do {
+    benchmark::DoNotOptimize(localizer.FusedMap(corrected));
+    ++maps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return 1e3 * elapsed / static_cast<double>(maps);
+}
+
+/// The single-thread likelihood-map stage regression check: steering-plan
+/// kernel vs the naive reference kernel on the fig9 workload.
+KernelComparison RunKernelComparison() {
+  std::cerr << "comparing likelihood-map kernels on the fig9 workload...\n";
+  sim::DatasetOptions options;
+  options.locations = 1;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+  const core::CorrectedChannels corrected =
+      core::ComputeCorrectedChannels(dataset.rounds[0]);
+
+  KernelComparison cmp;
+  cmp.reference_ms_per_map =
+      TimeFusedMap(dataset, corrected, core::LikelihoodKernel::kReference);
+  cmp.plan_ms_per_map =
+      TimeFusedMap(dataset, corrected, core::LikelihoodKernel::kSteeringPlan);
+  cmp.speedup = cmp.reference_ms_per_map / cmp.plan_ms_per_map;
+
+  std::cout << "\n=== likelihood-map stage (fig9 workload, 1 thread, fused "
+               "4-anchor map) ===\n"
+            << "  reference kernel      " << cmp.reference_ms_per_map
+            << " ms/map\n"
+            << "  steering-plan kernel  " << cmp.plan_ms_per_map
+            << " ms/map  (x" << cmp.speedup << " speedup)\n";
+  return cmp;
+}
+
 /// Measures engine throughput (rounds/sec) on the fig9 workload for
 /// threads in {1, 2, 4}; the thread counts stay fixed across machines so
 /// successive runs are comparable.
@@ -211,6 +281,7 @@ std::vector<SweepPoint> RunThroughputSweep(std::size_t batch_rounds) {
 
 void WriteSweepJson(const std::string& path,
                     const std::vector<SweepPoint>& sweep,
+                    const KernelComparison& kernels,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -223,6 +294,10 @@ void WriteSweepJson(const std::string& path,
       << "  \"grid_resolution\": 0.075,\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << "  \"likelihood_map\": {\"reference_ms_per_map\": "
+      << kernels.reference_ms_per_map
+      << ", \"steering_plan_ms_per_map\": " << kernels.plan_ms_per_map
+      << ", \"speedup\": " << kernels.speedup << "},\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     out << "    {\"threads\": " << sweep[i].threads
@@ -266,7 +341,10 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
 
+  const KernelComparison kernels = RunKernelComparison();
   const std::vector<SweepPoint> sweep = RunThroughputSweep(sweep_rounds);
-  if (!json_path.empty()) WriteSweepJson(json_path, sweep, sweep_rounds);
+  if (!json_path.empty()) {
+    WriteSweepJson(json_path, sweep, kernels, sweep_rounds);
+  }
   return 0;
 }

@@ -26,8 +26,9 @@ LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
   // Fusion stays sequential in anchor-id order: floating-point addition is
   // not associative, so summing in completion order would break the
   // bit-identity guarantee with the serial path.
-  ws.fused.Reset(localizer_.config().grid);
-  for (std::size_t i = 0; i < n; ++i) ws.fused.Add(ws.anchor_maps[i]);
+  dsp::Grid2D& fused = ws.EnsureFused();
+  fused.Reset(localizer_.config().grid);
+  for (std::size_t i = 0; i < n; ++i) fused.Add(ws.anchor_maps[i]);
   return localizer_.ScoreFused(ws.fused, ws.corrected);
 }
 

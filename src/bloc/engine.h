@@ -7,6 +7,11 @@
 //  - across rounds, LocateBatch distributes rounds over the workers, each
 //    using its own preallocated LocalizerWorkspace, and writes results into
 //    index-matched slots (ordering never depends on completion order).
+//
+// The engine owns (via its Localizer) one SteeringPlanCache shared read-only
+// by every worker: the per-anchor steering plans are built once during the
+// first round — under the cache mutex — and all later rounds run the
+// precomputed split-complex kernel allocation-free.
 #pragma once
 
 #include <span>
@@ -37,6 +42,8 @@ class LocalizationEngine {
 
   std::size_t threads() const { return pool_.size(); }
   const Localizer& localizer() const { return localizer_; }
+  /// The steering-plan cache all workers share (stats: builds/lookups).
+  SteeringPlanCache& plan_cache() const { return localizer_.plan_cache(); }
 
  private:
   Localizer localizer_;

@@ -7,20 +7,29 @@
 namespace bloc::core {
 
 Localizer::Localizer(Deployment deployment, LocalizerConfig config)
-    : deployment_(std::move(deployment)), config_(std::move(config)) {
+    : deployment_(std::move(deployment)),
+      config_(std::move(config)),
+      plan_cache_(std::make_shared<SteeringPlanCache>()) {
   if (deployment_.Master() == nullptr) {
     throw std::invalid_argument("Localizer: deployment has no master anchor");
   }
   if (!config_.grid.Valid()) {
     throw std::invalid_argument("Localizer: invalid grid spec");
   }
-  if (!config_.allowed_anchors.empty()) {
-    const auto& allowed = config_.allowed_anchors;
-    if (std::find(allowed.begin(), allowed.end(),
-                  deployment_.Master()->id) == allowed.end()) {
-      throw std::invalid_argument(
-          "Localizer: allowed_anchors must include the master anchor");
-    }
+  // Build the sorted/direct-indexed filter tables once so FilterInto never
+  // linear-scans the allow-lists per report or per band.
+  allowed_anchors_sorted_ = config_.allowed_anchors;
+  std::sort(allowed_anchors_sorted_.begin(), allowed_anchors_sorted_.end());
+  filter_channels_ = !config_.allowed_channels.empty();
+  for (const std::uint8_t ch : config_.allowed_channels) {
+    channel_allowed_[ch] = true;
+  }
+  if (!allowed_anchors_sorted_.empty() &&
+      !std::binary_search(allowed_anchors_sorted_.begin(),
+                          allowed_anchors_sorted_.end(),
+                          deployment_.Master()->id)) {
+    throw std::invalid_argument(
+        "Localizer: allowed_anchors must include the master anchor");
   }
 }
 
@@ -28,23 +37,18 @@ bool Localizer::FilterInto(const net::MeasurementRound& round,
                            RoundView& view) const {
   view.Begin(round);
   bool has_master = false;
+  const bool filter_anchors = !allowed_anchors_sorted_.empty();
   for (std::size_t i = 0; i < round.reports.size(); ++i) {
     const anchor::CsiReport& r = round.reports[i];
-    if (!config_.allowed_anchors.empty()) {
-      const auto& allowed = config_.allowed_anchors;
-      if (std::find(allowed.begin(), allowed.end(), r.anchor_id) ==
-          allowed.end()) {
-        continue;
-      }
+    if (filter_anchors &&
+        !std::binary_search(allowed_anchors_sorted_.begin(),
+                            allowed_anchors_sorted_.end(), r.anchor_id)) {
+      continue;
     }
     RoundView::ReportView& rv = view.Append(i);
     for (std::size_t k = 0; k < r.bands.size(); ++k) {
-      if (!config_.allowed_channels.empty()) {
-        const auto& ch = config_.allowed_channels;
-        if (std::find(ch.begin(), ch.end(), r.bands[k].data_channel) ==
-            ch.end()) {
-          continue;
-        }
+      if (filter_channels_ && !channel_allowed_[r.bands[k].data_channel]) {
+        continue;
       }
       rv.bands.push_back(k);
     }
@@ -91,14 +95,20 @@ void Localizer::AnchorMapInto(const CorrectedChannels& corrected,
   input.band_freqs_hz = corrected.band_freqs_hz;
   input.max_antennas = config_.max_antennas;
   map.Reset(config_.grid);
-  JointLikelihoodMapInto(input, map, ws);
+  if (config_.spectra.kernel == LikelihoodKernel::kReference) {
+    JointLikelihoodMapInto(input, map, ws);
+  } else {
+    const auto plan = plan_cache_->GetOrBuild(input, config_.grid,
+                                              ws.comb_step);
+    JointLikelihoodMapInto(input, *plan, map, ws);
+  }
   // Peak-normalize so one near anchor cannot drown the others.
   map.NormalizePeak();
 }
 
-LocationResult Localizer::ScoreFused(const dsp::Grid2D& fused,
+LocationResult Localizer::ScoreFused(std::shared_ptr<const dsp::Grid2D> fused,
                                      const CorrectedChannels& corrected) const {
-  const Selection sel = SelectLocation(fused, deployment_, config_.scoring);
+  const Selection sel = SelectLocation(*fused, deployment_, config_.scoring);
   if (sel.peaks.empty()) return LocationResult{};  // degenerate map: sentinel
 
   LocationResult result;
@@ -108,7 +118,7 @@ LocationResult Localizer::ScoreFused(const dsp::Grid2D& fused,
   result.bands_used = corrected.num_bands();
   result.anchors_used = corrected.anchors.size();
   if (config_.keep_map) {
-    result.fused_map = std::make_shared<dsp::Grid2D>(fused);
+    result.fused_map = std::move(fused);
   }
   return result;
 }
@@ -142,10 +152,11 @@ LocationResult Localizer::Locate(const net::MeasurementRound& round,
   FuseOrder(ws.corrected, ws.fuse_order);
   if (ws.anchor_maps.empty()) ws.anchor_maps.resize(1);
   if (ws.spectra.empty()) ws.spectra.resize(1);
-  ws.fused.Reset(config_.grid);
+  dsp::Grid2D& fused = ws.EnsureFused();
+  fused.Reset(config_.grid);
   for (std::size_t idx : ws.fuse_order) {
     AnchorMapInto(ws.corrected, idx, ws.anchor_maps[0], ws.spectra[0]);
-    ws.fused.Add(ws.anchor_maps[0]);
+    fused.Add(ws.anchor_maps[0]);
   }
   return ScoreFused(ws.fused, ws.corrected);
 }

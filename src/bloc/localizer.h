@@ -8,6 +8,7 @@
 // the same stages across a thread pool with bit-identical results.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "bloc/corrected_channel.h"
 #include "bloc/multipath.h"
 #include "bloc/spectra.h"
+#include "bloc/steering_plan.h"
 #include "dsp/grid2d.h"
 #include "net/collector.h"
 
@@ -25,6 +27,8 @@ struct LocalizerConfig {
   /// Search region; typically the room plus a small margin.
   dsp::GridSpec grid{0.0, 0.0, 6.0, 5.0, 0.075};
   ScoringConfig scoring;
+  /// Eq. 17 kernel selection (steering-plan vs reference).
+  SpectraConfig spectra;
   /// Use only the first N antennas of each anchor (0 = all) — §8.4.
   std::size_t max_antennas = 0;
   /// Restrict to these data channels (empty = all present) — §8.5/8.6.
@@ -58,7 +62,18 @@ struct LocalizerWorkspace {
   /// one slot per anchor so maps can be computed concurrently).
   std::vector<dsp::Grid2D> anchor_maps;
   std::vector<SpectraWorkspace> spectra;
-  dsp::Grid2D fused;
+  /// Fused map, shared-ptr-owned so keep_map hands the round's map to the
+  /// result without a deep copy; the next round allocates a fresh grid only
+  /// if the previous one is still referenced by a result.
+  std::shared_ptr<dsp::Grid2D> fused;
+
+  /// Ensures `fused` exists and is not aliased by an outstanding result.
+  dsp::Grid2D& EnsureFused() {
+    if (!fused || fused.use_count() != 1) {
+      fused = std::make_shared<dsp::Grid2D>();
+    }
+    return *fused;
+  }
 };
 
 class Localizer {
@@ -105,16 +120,30 @@ class Localizer {
                      std::size_t anchor_index, dsp::Grid2D& map,
                      SpectraWorkspace& ws) const;
 
-  /// Score: multipath-rejecting peak selection over the fused map.
-  LocationResult ScoreFused(const dsp::Grid2D& fused,
+  /// Score: multipath-rejecting peak selection over the fused map. When
+  /// keep_map is configured the result shares `fused` (no deep copy), so
+  /// callers that reuse the grid must re-acquire it via
+  /// LocalizerWorkspace::EnsureFused before the next round.
+  LocationResult ScoreFused(std::shared_ptr<const dsp::Grid2D> fused,
                             const CorrectedChannels& corrected) const;
 
   const Deployment& deployment() const { return deployment_; }
   const LocalizerConfig& config() const { return config_; }
 
+  /// The steering-plan cache behind AnchorMapInto: created per Localizer,
+  /// shared read-only by every thread that localizes through this instance
+  /// (the engine's workers all hit this one cache).
+  SteeringPlanCache& plan_cache() const { return *plan_cache_; }
+
  private:
   Deployment deployment_;
   LocalizerConfig config_;
+  /// allowed_anchors, sorted for binary-search lookup in FilterInto.
+  std::vector<std::uint32_t> allowed_anchors_sorted_;
+  /// Direct-indexed allowed_channels membership (data channels are uint8).
+  std::array<bool, 256> channel_allowed_{};
+  bool filter_channels_ = false;
+  std::shared_ptr<SteeringPlanCache> plan_cache_;
 };
 
 }  // namespace bloc::core

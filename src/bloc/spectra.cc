@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bloc/steering_plan.h"
 #include "dsp/complex_ops.h"
 
 namespace bloc::core {
@@ -12,11 +13,8 @@ using dsp::cplx;
 using dsp::kSpeedOfLight;
 using dsp::kTwoPi;
 
-namespace {
+namespace detail {
 
-/// Re-indexes the (possibly gappy) band list onto a dense 2 MHz comb so the
-/// per-cell band sum becomes a single rotor walk. Writes into the workspace,
-/// reusing its buffers.
 void BuildComb(const SpectraInput& input, std::size_t antennas,
                SpectraWorkspace& ws) {
   const auto& freqs = input.band_freqs_hz;
@@ -42,6 +40,18 @@ void BuildComb(const SpectraInput& input, std::size_t antennas,
   }
 }
 
+std::size_t EffectiveAntennas(const SpectraInput& input) {
+  const std::size_t all = input.channels->alpha.size();
+  return input.max_antennas == 0 ? all : std::min(all, input.max_antennas);
+}
+
+}  // namespace detail
+
+using detail::BuildComb;
+using detail::EffectiveAntennas;
+
+namespace {
+
 /// Caches the antenna positions for the active antennas.
 void CacheAntennaPositions(const SpectraInput& input, std::size_t antennas,
                            SpectraWorkspace& ws) {
@@ -49,11 +59,6 @@ void CacheAntennaPositions(const SpectraInput& input, std::size_t antennas,
   for (std::size_t j = 0; j < antennas; ++j) {
     ws.ant_pos[j] = input.geometry.AntennaPosition(j);
   }
-}
-
-std::size_t EffectiveAntennas(const SpectraInput& input) {
-  const std::size_t all = input.channels->alpha.size();
-  return input.max_antennas == 0 ? all : std::min(all, input.max_antennas);
 }
 
 /// sum_k alpha_jk e^{+j 2 pi f_k D / c} via base+step rotor walk.
@@ -99,7 +104,8 @@ dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
                                const dsp::GridSpec& spec) {
   dsp::Grid2D grid(spec);
   SpectraWorkspace ws;
-  JointLikelihoodMapInto(input, grid, ws);
+  const SteeringPlan plan(MakeSteeringPlanKey(input, spec, ws.comb_step));
+  JointLikelihoodMapInto(input, plan, grid, ws);
   return grid;
 }
 
@@ -139,26 +145,16 @@ dsp::Grid2D AngleOnlyMap(const SpectraInput& input,
 }
 
 dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
-                            const dsp::GridSpec& spec) {
-  const std::size_t antennas = EffectiveAntennas(input);
-  SpectraWorkspace ws;
-  BuildComb(input, antennas, ws);
-  CacheAntennaPositions(input, antennas, ws);
-
+                            const dsp::GridSpec& spec,
+                            SteeringPlanCache* cache) {
   dsp::Grid2D grid(spec);
-  for (std::size_t row = 0; row < grid.rows(); ++row) {
-    const double y = grid.YOf(row);
-    for (std::size_t col = 0; col < grid.cols(); ++col) {
-      const geom::Vec2 x{grid.XOf(col), y};
-      const double d_ref = geom::Distance(x, input.master_ref_antenna);
-      double p = 0.0;
-      for (std::size_t j = 0; j < antennas; ++j) {
-        const double d = geom::Distance(x, ws.ant_pos[j]);
-        const double relative = d - d_ref - input.master_ref_distance;
-        p += std::abs(BandSum(ws.dense[j], ws, relative));
-      }
-      grid.At(col, row) = p;
-    }
+  SpectraWorkspace ws;
+  if (cache != nullptr) {
+    const auto plan = cache->GetOrBuild(input, spec, ws.comb_step);
+    DistanceOnlyMapInto(input, *plan, grid, ws);
+  } else {
+    const SteeringPlan plan(MakeSteeringPlanKey(input, spec, ws.comb_step));
+    DistanceOnlyMapInto(input, plan, grid, ws);
   }
   return grid;
 }

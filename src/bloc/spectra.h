@@ -6,16 +6,27 @@
 // anchor i and m_00 is antenna 0 of the master. Angle-only (Eq. 15) and
 // distance-only (Eq. 16) maps are provided for analysis and the Fig. 6
 // illustrations.
+//
+// Two kernels evaluate Eq. 17. The reference kernel (JointLikelihoodMapInto
+// without a plan) recomputes distances and rotors per cell; the steering-plan
+// kernel (bloc/steering_plan.h) reads them from a precomputed SteeringPlan
+// and reduces steady-state work to a vectorized complex MAC. Outputs agree
+// cell-for-cell; the reference kernel stays selectable via SpectraConfig for
+// parity testing.
 #pragma once
 
 #include <span>
 
 #include "anchor/array.h"
 #include "bloc/corrected_channel.h"
+#include "dsp/aligned.h"
 #include "dsp/grid2d.h"
 #include "geom/vec2.h"
 
 namespace bloc::core {
+
+class SteeringPlan;
+class SteeringPlanCache;
 
 struct SpectraInput {
   /// Corrected channels of one anchor: alpha[antenna][band].
@@ -30,9 +41,22 @@ struct SpectraInput {
   std::size_t max_antennas = 0;
 };
 
+/// Which Eq. 17 implementation the localizer runs.
+enum class LikelihoodKernel {
+  /// Precomputed steering plan + split-complex MAC (the default).
+  kSteeringPlan,
+  /// Per-cell sqrt/sincos naive loop; kept for parity testing.
+  kReference,
+};
+
+struct SpectraConfig {
+  LikelihoodKernel kernel = LikelihoodKernel::kSteeringPlan;
+};
+
 /// Scratch buffers for the likelihood-map kernels: the dense 2 MHz band
-/// comb and the antenna-position cache. Reusing one workspace across calls
-/// makes the in-place map variants allocation-free in steady state.
+/// comb, the antenna-position cache and the split-complex accumulators of
+/// the steering-plan kernel. Reusing one workspace across calls makes the
+/// in-place map variants allocation-free in steady state.
 struct SpectraWorkspace {
   std::vector<dsp::CVec> dense;       // comb values per antenna
   std::vector<std::size_t> k_of;      // band index -> comb step
@@ -40,15 +64,30 @@ struct SpectraWorkspace {
   double comb_f0 = 0.0;
   double comb_step = 2.0e6;           // BLE channel spacing
   std::size_t comb_steps = 0;
+  // Steering-plan kernel scratch (one slot per grid cell).
+  dsp::SplitComplexVec cur;    // running rotor of the comb walk
+  dsp::SplitComplexVec acc;    // per-antenna band sum
+  dsp::SplitComplexVec total;  // cross-antenna coherent sum
 };
 
-/// Eq. 17: coherent combination over antennas and bands.
+namespace detail {
+/// Number of antennas the kernels actually process for `input`.
+std::size_t EffectiveAntennas(const SpectraInput& input);
+/// Re-indexes the (possibly gappy) band list onto a dense 2 MHz comb so the
+/// per-cell band sum becomes a single rotor walk. Writes into the workspace,
+/// reusing its buffers.
+void BuildComb(const SpectraInput& input, std::size_t antennas,
+               SpectraWorkspace& ws);
+}  // namespace detail
+
+/// Eq. 17: coherent combination over antennas and bands (steering-plan
+/// kernel with a plan built on the fly).
 dsp::Grid2D JointLikelihoodMap(const SpectraInput& input,
                                const dsp::GridSpec& spec);
 
-/// In-place variant of JointLikelihoodMap: overwrites every cell of `grid`
-/// (whose spec defines the evaluation points) using `ws` for scratch.
-/// Bit-identical to JointLikelihoodMap over the same spec.
+/// In-place reference kernel: overwrites every cell of `grid` (whose spec
+/// defines the evaluation points) using `ws` for scratch. Bit-identical to
+/// JointLikelihoodMap over the same spec; recomputes all geometry per cell.
 void JointLikelihoodMapInto(const SpectraInput& input, dsp::Grid2D& grid,
                             SpectraWorkspace& ws);
 
@@ -57,9 +96,11 @@ void JointLikelihoodMapInto(const SpectraInput& input, dsp::Grid2D& grid,
 dsp::Grid2D AngleOnlyMap(const SpectraInput& input, const dsp::GridSpec& spec);
 
 /// Eq. 16 mapped to space: per-antenna relative-distance spectra (hyperbolic
-/// level sets), summed incoherently over antennas.
+/// level sets), summed incoherently over antennas. Runs the steering-plan
+/// kernel; pass `cache` to reuse plans across calls (nullptr builds one).
 dsp::Grid2D DistanceOnlyMap(const SpectraInput& input,
-                            const dsp::GridSpec& spec);
+                            const dsp::GridSpec& spec,
+                            SteeringPlanCache* cache = nullptr);
 
 /// The classic 1-D Bartlett angle pseudospectrum at a single band:
 /// P(theta) = | sum_j alpha_j e^{+j 2 pi j l sin(theta) f / c} | evaluated on

@@ -1,0 +1,118 @@
+// Precomputed steering plans for the Eq. 17 likelihood kernels.
+//
+// For a fixed (grid, anchor geometry, master reference, comb layout) the
+// per-cell relative distances D_ij(x) and the base/step phase rotors of the
+// comb walk never change between rounds. A SteeringPlan hoists all of that
+// out of the hot path once — SpotFi/ArrayTrack-style steering-matrix
+// precomputation mapped onto BLoc's Cartesian grid — leaving the steady-state
+// kernel a branch-free complex multiply-accumulate over cells x comb steps
+// with no sqrt, no sin/cos and no std::complex arithmetic.
+//
+// Rotors are stored split-complex (separate aligned re[]/im[] arrays, cell
+// index contiguous) so the fused MAC+rotate loop auto-vectorizes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bloc/spectra.h"
+#include "dsp/aligned.h"
+#include "dsp/grid2d.h"
+#include "geom/vec2.h"
+
+namespace bloc::core {
+
+/// Everything the precomputed geometry terms depend on. Two keys compare
+/// equal iff the plans would be identical (exact double compare: any
+/// difference rebuilds, which is the safe direction for a cache).
+struct SteeringPlanKey {
+  dsp::GridSpec grid;
+  /// Positions of the active antennas (after max_antennas truncation).
+  std::vector<geom::Vec2> antennas;
+  geom::Vec2 master_ref;
+  double master_ref_distance = 0.0;
+  double comb_f0 = 0.0;
+  double comb_step = 0.0;
+
+  bool operator==(const SteeringPlanKey&) const = default;
+};
+
+/// Builds the key for `input` evaluated on `grid`. Throws when `input` has
+/// no bands (comb_f0 would be undefined).
+SteeringPlanKey MakeSteeringPlanKey(const SpectraInput& input,
+                                    const dsp::GridSpec& spec,
+                                    double comb_step = 2.0e6);
+
+/// Immutable per-(anchor, grid, comb) precomputation: for every grid cell x
+/// and active antenna j, the relative distance D_j(x) = |x-a_j| - |x-m00| -
+/// d_i0 and the unit rotors e^{j 2 pi f0 D/c} (base) and e^{j 2 pi df D/c}
+/// (step). Cell index runs row-major, matching Grid2D storage. Safe to share
+/// read-only across threads.
+class SteeringPlan {
+ public:
+  explicit SteeringPlan(SteeringPlanKey key);
+
+  const SteeringPlanKey& key() const { return key_; }
+  std::size_t num_cells() const { return cells_; }
+  std::size_t num_antennas() const { return key_.antennas.size(); }
+
+  /// The D_j(x) field of antenna `j` (hyperbolic level sets, Fig. 6b).
+  const dsp::Grid2D& RelativeDistance(std::size_t j) const {
+    return rel_d_[j];
+  }
+
+  // Split-complex rotor arrays of antenna `j`, each num_cells() long.
+  const double* base_re(std::size_t j) const { return base_[j].re.data(); }
+  const double* base_im(std::size_t j) const { return base_[j].im.data(); }
+  const double* step_re(std::size_t j) const { return step_[j].re.data(); }
+  const double* step_im(std::size_t j) const { return step_[j].im.data(); }
+
+ private:
+  SteeringPlanKey key_;
+  std::size_t cells_ = 0;
+  std::vector<dsp::Grid2D> rel_d_;
+  std::vector<dsp::SplitComplexVec> base_;
+  std::vector<dsp::SplitComplexVec> step_;
+};
+
+/// Thread-safe keyed cache of steering plans. Plans are built at most once
+/// per key (under the mutex — first-round cost only) and handed out as
+/// shared_ptr<const>, so readers never synchronize after the build. One
+/// cache per Localizer / LocalizationEngine serves every worker thread.
+class SteeringPlanCache {
+ public:
+  std::shared_ptr<const SteeringPlan> GetOrBuild(const SteeringPlanKey& key);
+
+  /// Allocation-free on the hit path: compares `input`/`spec` against the
+  /// cached keys field-by-field and only materializes a key on a miss.
+  std::shared_ptr<const SteeringPlan> GetOrBuild(const SpectraInput& input,
+                                                 const dsp::GridSpec& spec,
+                                                 double comb_step = 2.0e6);
+
+  /// Number of plans built so far (== distinct keys seen). The amortization
+  /// tests assert this stops growing after the first round.
+  std::size_t builds() const;
+  /// Total lookups (hits + builds).
+  std::size_t lookups() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const SteeringPlan>> plans_;
+  std::size_t builds_ = 0;
+  std::size_t lookups_ = 0;
+};
+
+/// Steering-plan variant of JointLikelihoodMapInto (spectra.h): identical
+/// output to the reference kernel, but all geometry work comes from `plan`.
+/// `grid` must already have the plan's spec. Throws std::invalid_argument
+/// when `plan` does not match (input, grid).
+void JointLikelihoodMapInto(const SpectraInput& input, const SteeringPlan& plan,
+                            dsp::Grid2D& grid, SpectraWorkspace& ws);
+
+/// Steering-plan variant of the Eq. 16 distance-only map (same contract).
+void DistanceOnlyMapInto(const SpectraInput& input, const SteeringPlan& plan,
+                         dsp::Grid2D& grid, SpectraWorkspace& ws);
+
+}  // namespace bloc::core

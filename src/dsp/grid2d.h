@@ -16,6 +16,8 @@ struct GridSpec {
   double y_max = 1.0;
   double resolution = 0.1;  // cell size in metres
 
+  bool operator==(const GridSpec&) const = default;
+
   std::size_t Cols() const;
   std::size_t Rows() const;
   /// World coordinate of the centre of cell (col, row).

@@ -164,6 +164,90 @@ TEST(DistanceOnlyMap, HyperbolaThroughTruth) {
   EXPECT_LT(map.At(far_col, far_row), 0.8 * map.Max());
 }
 
+TEST(DistanceOnlyMap, MatchesHandComputedTwoBandCase) {
+  // One antenna, two bands, 2x2 grid: Eq. 16 evaluated longhand as
+  // p(x) = | sum_k alpha_k e^{+j 2 pi f_k D(x) / c} |,
+  // D(x) = |x - a0| - |x - m00| - d_i0.
+  const geom::Vec2 antenna{1.0, 0.0};
+  const geom::Vec2 master_ref{0.0, 2.0};
+  const double d_i0 = 0.7;
+  const std::vector<double> freqs{2.404e9, 2.406e9};
+  const dsp::CVec alpha{{0.8, -0.3}, {0.0, 1.0}};
+
+  AnchorCorrected channels;
+  channels.anchor_id = 1;
+  channels.alpha = {alpha};
+  SpectraInput input;
+  input.channels = &channels;
+  input.geometry = {antenna, 0.0, 0.0614, 1};
+  input.master_ref_antenna = master_ref;
+  input.master_ref_distance = d_i0;
+  input.band_freqs_hz = freqs;
+
+  const dsp::GridSpec spec{0.0, 0.0, 1.0, 1.0, 1.0};
+  const dsp::Grid2D map = DistanceOnlyMap(input, spec);
+  ASSERT_EQ(map.cols(), 2u);
+  ASSERT_EQ(map.rows(), 2u);
+  for (std::size_t row = 0; row < 2; ++row) {
+    for (std::size_t col = 0; col < 2; ++col) {
+      const geom::Vec2 x{spec.XOf(col), spec.YOf(row)};
+      const double d = geom::Distance(x, antenna) -
+                       geom::Distance(x, master_ref) - d_i0;
+      cplx expected{0.0, 0.0};
+      for (std::size_t k = 0; k < freqs.size(); ++k) {
+        expected += alpha[k] * std::polar(1.0, dsp::kTwoPi * freqs[k] * d /
+                                                   dsp::kSpeedOfLight);
+      }
+      EXPECT_NEAR(map.At(col, row), std::abs(expected), 1e-9)
+          << "cell " << col << "," << row;
+    }
+  }
+}
+
+TEST(DistanceOnlyMap, SingleBandIsFlatUnitMagnitude) {
+  // With one band and a unit alpha, |alpha e^{j phi(x)}| = 1 everywhere:
+  // a single frequency carries no relative-distance information.
+  AnchorCorrected channels;
+  channels.anchor_id = 1;
+  channels.alpha = {dsp::CVec{cplx{0.0, 1.0}}};
+  const std::vector<double> freqs{2.426e9};
+  SpectraInput input;
+  input.channels = &channels;
+  input.geometry = {{2.0, 0.0}, 0.0, 0.0614, 1};
+  input.master_ref_antenna = {0.0, 1.0};
+  input.master_ref_distance = 0.4;
+  input.band_freqs_hz = freqs;
+  const dsp::Grid2D map = DistanceOnlyMap(input, {0.0, 0.0, 2.0, 2.0, 0.5});
+  for (double v : map.data()) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(AngleSpectrum, MatchesHandComputedTwoAntennaCase) {
+  // Two antennas with alpha = {1, 1}: P(theta) = |1 + e^{j psi}| =
+  // 2 |cos(psi / 2)| with psi = 2 pi l sin(theta) f / c.
+  const double spacing = 0.0614;
+  const double f = 2.44e9;
+  const dsp::CVec per_antenna{{1.0, 0.0}, {1.0, 0.0}};
+  const dsp::RVec thetas{-0.8, -0.3, 0.0, 0.25, 0.6, 1.2};
+  const dsp::RVec spectrum = AngleSpectrum(per_antenna, f, spacing, thetas);
+  ASSERT_EQ(spectrum.size(), thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const double psi = dsp::kTwoPi * spacing * std::sin(thetas[i]) * f /
+                       dsp::kSpeedOfLight;
+    EXPECT_NEAR(spectrum[i], 2.0 * std::abs(std::cos(psi / 2.0)), 1e-12)
+        << "theta " << thetas[i];
+  }
+}
+
+TEST(AngleSpectrum, EmptyThetasAndAntennas) {
+  const dsp::CVec per_antenna{{1.0, 0.0}};
+  EXPECT_TRUE(AngleSpectrum(per_antenna, 2.44e9, 0.0614, {}).empty());
+  const dsp::RVec thetas{0.0, 0.5};
+  const dsp::RVec spectrum = AngleSpectrum({}, 2.44e9, 0.0614, thetas);
+  ASSERT_EQ(spectrum.size(), 2u);
+  EXPECT_EQ(spectrum[0], 0.0);  // empty antenna sum
+  EXPECT_EQ(spectrum[1], 0.0);
+}
+
 TEST(AngleSpectrum, PeaksAtSteeringMatch) {
   // Channels with phase e^{-j 2 pi j l sin(theta0) f / c} peak at theta0.
   const double spacing = 0.0614;
