@@ -3,12 +3,15 @@
 // channels, the joint likelihood map, the wire codec, and the threaded
 // localization engine.
 //
-// After the microbenchmarks, two regression sweeps run on the fig9
-// workload: a single-thread comparison of the Eq. 17 kernels (steering-plan
-// vs naive reference, ms per fused 4-anchor map) and a rounds/sec engine
-// sweep for threads in {1, 2, 4}. Pass --json=PATH to dump both as
-// machine-readable JSON (the perf trajectory baseline), --sweep-rounds=N to
-// size the batch, --no-micro to skip the google-benchmark section.
+// After the microbenchmarks, regression sweeps run on the fig9 workload:
+// a single-thread comparison of the Eq. 17 kernels (steering-plan vs naive
+// reference, ms per fused 4-anchor map), a rounds/sec engine sweep for
+// threads in {1, 2, 4}, and the full-PHY measurement stage (planned fast
+// path vs reference kernels, plus a measurement-thread sweep). Pass
+// --json=PATH to dump everything as machine-readable JSON (the perf
+// trajectory baseline), --sweep-rounds=N to size the batch, --no-micro to
+// skip the google-benchmark section, --mode=localize|fullphy to run one
+// sweep family only.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -79,6 +82,20 @@ void BM_Fft4096(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fft4096);
+
+void BM_FftPlan4096(benchmark::State& state) {
+  const dsp::FftPlan plan(4096);
+  dsp::CVec data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = dsp::Rotor(0.001 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    dsp::CVec copy = data;
+    plan.Forward(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_FftPlan4096);
 
 void BM_PathSolve(benchmark::State& state) {
   const sim::ScenarioConfig scenario = sim::PaperTestbed(1);
@@ -279,9 +296,93 @@ std::vector<SweepPoint> RunThroughputSweep(std::size_t batch_rounds) {
   return sweep;
 }
 
+struct FullPhyComparison {
+  double reference_ms_per_round = 0.0;
+  double planned_ms_per_round = 0.0;
+  double speedup = 0.0;
+};
+
+/// Times full-PHY measurement rounds (ms/round) on the given simulator,
+/// cycling through `positions`. At least one round always runs.
+double TimeFullPhyRounds(sim::MeasurementSimulator& simulator,
+                         const std::vector<geom::Vec2>& positions,
+                         double min_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t rounds = 0;
+  double elapsed = 0.0;
+  do {
+    benchmark::DoNotOptimize(
+        simulator.RunRound(positions[rounds % positions.size()], rounds));
+    ++rounds;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return 1e3 * elapsed / static_cast<double>(rounds);
+}
+
+/// The single-thread full-PHY measurement regression check: planned fast
+/// path (FFT plans + incremental rotors + cached assets) vs the reference
+/// kernels on the fig9 workload.
+FullPhyComparison RunFullPhyComparison() {
+  std::cerr << "comparing full-PHY measurement kernels on the fig9 "
+               "workload...\n";
+  sim::ScenarioConfig scenario = sim::PaperTestbed(1);
+  scenario.mode = sim::MeasurementMode::kFullPhy;
+  sim::Testbed testbed(scenario);
+  sim::MeasurementSimulator simulator(testbed, 1);
+  const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(4);
+
+  FullPhyComparison cmp;
+  simulator.UseReferenceFullPhy(true);
+  simulator.RunRound(positions[0], 0);  // warm-up
+  cmp.reference_ms_per_round = TimeFullPhyRounds(simulator, positions, 2.0);
+  simulator.UseReferenceFullPhy(false);
+  simulator.RunRound(positions[0], 0);  // warm-up
+  cmp.planned_ms_per_round = TimeFullPhyRounds(simulator, positions, 2.0);
+  cmp.speedup = cmp.reference_ms_per_round / cmp.planned_ms_per_round;
+
+  std::cout << "\n=== full-PHY measurement stage (fig9 workload, 1 thread) "
+               "===\n"
+            << "  reference kernels  " << cmp.reference_ms_per_round
+            << " ms/round\n"
+            << "  planned fast path  " << cmp.planned_ms_per_round
+            << " ms/round  (x" << cmp.speedup << " speedup)\n";
+  return cmp;
+}
+
+/// Full-PHY round synthesis throughput (rounds/sec) for threads in
+/// {1, 2, 4}. Output is bit-identical across thread counts (tested), so
+/// this sweep measures pure scheduling scalability.
+std::vector<SweepPoint> RunFullPhyThreadSweep() {
+  std::cerr << "sweeping full-PHY measurement threads...\n";
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t threads : {1, 2, 4}) {
+    sim::ScenarioConfig scenario = sim::PaperTestbed(1);
+    scenario.mode = sim::MeasurementMode::kFullPhy;
+    sim::Testbed testbed(scenario);
+    sim::MeasurementSimulator simulator(testbed, threads);
+    const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(4);
+    simulator.RunRound(positions[0], 0);  // warm-up
+    const double ms_per_round = TimeFullPhyRounds(simulator, positions, 1.0);
+    sweep.push_back({threads, 1e3 / ms_per_round});
+  }
+
+  std::cout << "\n=== full-PHY round synthesis throughput (fig9 workload) "
+               "===\n";
+  for (const SweepPoint& p : sweep) {
+    std::cout << "  threads=" << p.threads << "  " << p.rounds_per_sec
+              << " rounds/sec  (x" << p.rounds_per_sec / sweep[0].rounds_per_sec
+              << " vs threads=1)\n";
+  }
+  return sweep;
+}
+
 void WriteSweepJson(const std::string& path,
-                    const std::vector<SweepPoint>& sweep,
-                    const KernelComparison& kernels,
+                    const std::vector<SweepPoint>* sweep,
+                    const KernelComparison* kernels,
+                    const FullPhyComparison* fullphy,
+                    const std::vector<SweepPoint>* fullphy_sweep,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -292,21 +393,43 @@ void WriteSweepJson(const std::string& path,
       << "  \"workload\": \"fig9\",\n"
       << "  \"rounds_per_batch\": " << batch_rounds << ",\n"
       << "  \"grid_resolution\": 0.075,\n"
-      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n"
-      << "  \"likelihood_map\": {\"reference_ms_per_map\": "
-      << kernels.reference_ms_per_map
-      << ", \"steering_plan_ms_per_map\": " << kernels.plan_ms_per_map
-      << ", \"speedup\": " << kernels.speedup << "},\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    out << "    {\"threads\": " << sweep[i].threads
-        << ", \"rounds_per_sec\": " << sweep[i].rounds_per_sec
-        << ", \"speedup_vs_1\": "
-        << sweep[i].rounds_per_sec / sweep[0].rounds_per_sec << "}"
-        << (i + 1 < sweep.size() ? "," : "") << "\n";
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency();
+  if (kernels != nullptr) {
+    out << ",\n  \"likelihood_map\": {\"reference_ms_per_map\": "
+        << kernels->reference_ms_per_map
+        << ", \"steering_plan_ms_per_map\": " << kernels->plan_ms_per_map
+        << ", \"speedup\": " << kernels->speedup << "}";
   }
-  out << "  ]\n}\n";
+  if (fullphy != nullptr) {
+    out << ",\n  \"fullphy_measurement\": {\"reference_ms_per_round\": "
+        << fullphy->reference_ms_per_round
+        << ", \"planned_ms_per_round\": " << fullphy->planned_ms_per_round
+        << ", \"speedup\": " << fullphy->speedup << "}";
+  }
+  if (fullphy_sweep != nullptr) {
+    out << ",\n  \"fullphy_results\": [\n";
+    for (std::size_t i = 0; i < fullphy_sweep->size(); ++i) {
+      out << "    {\"threads\": " << (*fullphy_sweep)[i].threads
+          << ", \"rounds_per_sec\": " << (*fullphy_sweep)[i].rounds_per_sec
+          << ", \"speedup_vs_1\": "
+          << (*fullphy_sweep)[i].rounds_per_sec /
+                 (*fullphy_sweep)[0].rounds_per_sec
+          << "}" << (i + 1 < fullphy_sweep->size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  if (sweep != nullptr) {
+    out << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < sweep->size(); ++i) {
+      out << "    {\"threads\": " << (*sweep)[i].threads
+          << ", \"rounds_per_sec\": " << (*sweep)[i].rounds_per_sec
+          << ", \"speedup_vs_1\": "
+          << (*sweep)[i].rounds_per_sec / (*sweep)[0].rounds_per_sec << "}"
+          << (i + 1 < sweep->size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
   std::cout << "  wrote " << path << "\n";
 }
 
@@ -315,6 +438,7 @@ void WriteSweepJson(const std::string& path,
 int main(int argc, char** argv) {
   // Split off our flags; google-benchmark aborts on ones it doesn't know.
   std::string json_path;
+  std::string mode = "all";  // all | localize | fullphy
   std::size_t sweep_rounds = 8;
   bool run_micro = true;
   std::vector<char*> bench_argv;
@@ -324,6 +448,13 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.starts_with("--sweep-rounds=")) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
+    } else if (arg.starts_with("--mode=")) {
+      mode = arg.substr(7);
+      if (mode != "all" && mode != "localize" && mode != "fullphy") {
+        std::cerr << "bench_perf: unknown --mode=" << mode
+                  << " (expected all, localize or fullphy)\n";
+        return 1;
+      }
     } else if (arg == "--no-micro") {
       run_micro = false;
     } else {
@@ -341,10 +472,25 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
 
-  const KernelComparison kernels = RunKernelComparison();
-  const std::vector<SweepPoint> sweep = RunThroughputSweep(sweep_rounds);
+  KernelComparison kernels;
+  std::vector<SweepPoint> sweep;
+  FullPhyComparison fullphy;
+  std::vector<SweepPoint> fullphy_sweep;
+  const bool run_localize = mode == "all" || mode == "localize";
+  const bool run_fullphy = mode == "all" || mode == "fullphy";
+  if (run_fullphy) {
+    fullphy = RunFullPhyComparison();
+    fullphy_sweep = RunFullPhyThreadSweep();
+  }
+  if (run_localize) {
+    kernels = RunKernelComparison();
+    sweep = RunThroughputSweep(sweep_rounds);
+  }
   if (!json_path.empty()) {
-    WriteSweepJson(json_path, sweep, kernels, sweep_rounds);
+    WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
+                   run_localize ? &kernels : nullptr,
+                   run_fullphy ? &fullphy : nullptr,
+                   run_fullphy ? &fullphy_sweep : nullptr, sweep_rounds);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsp/types.h"
@@ -43,6 +44,16 @@ struct PathSet {
   /// one per path per band).
   dsp::CVec EvaluateComb(double f_start_hz, double f_step_hz,
                          std::size_t count) const;
+
+  /// Allocation-free EvaluateComb: overwrites `out` (out.size() comb bins)
+  /// in caller-owned storage. Paths are processed in fixed-size lane chunks
+  /// with the comb index as the outer loop, converting the per-path rotor
+  /// recurrence from a latency-bound serial chain into a throughput-bound
+  /// vectorizable inner loop; rotors renormalize periodically so long combs
+  /// don't drift (parity vs per-bin Evaluate stays < 1e-9, see
+  /// tests/test_channel.cc).
+  void EvaluateCombInto(double f_start_hz, double f_step_hz,
+                        std::span<dsp::cplx> out) const;
 
   /// Length of the shortest path, or +inf when empty.
   double ShortestLength() const;

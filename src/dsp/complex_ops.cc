@@ -53,8 +53,8 @@ cplx MergeAmpPhase(std::span<const cplx> samples) noexcept {
   double amp = 0.0;
   cplx dir{0.0, 0.0};
   for (const cplx& s : samples) {
-    amp += std::abs(s);
     const double m = std::abs(s);
+    amp += m;
     if (m > 0) dir += s / m;
   }
   amp /= static_cast<double>(samples.size());

@@ -54,6 +54,93 @@ double BinFrequency(std::size_t k, std::size_t n, double fs) noexcept {
   return idx * fs / static_cast<double>(n);
 }
 
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+  }
+  bitrev_.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  if (n < 2) return;
+  tw_re_.resize(n - 1);
+  tw_im_.resize(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang = -kTwoPi * static_cast<double>(k) /
+                         static_cast<double>(len);
+      tw_re_[half - 1 + k] = std::cos(ang);
+      tw_im_[half - 1 + k] = std::sin(ang);
+    }
+  }
+}
+
+void FftPlan::Run(std::span<cplx> data, bool inverse) const {
+  if (data.size() != n_) {
+    throw std::invalid_argument("FftPlan: data size does not match plan");
+  }
+  const std::size_t n = n_;
+  if (n < 2) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Twiddles are stored with the forward sign; the inverse transform
+  // conjugates on load (one multiply, no branch in the inner loop).
+  const double conj_sign = inverse ? -1.0 : 1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const double* twr = tw_re_.data() + (half - 1);
+    const double* twi = tw_im_.data() + (half - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx* a = data.data() + i;
+      cplx* b = a + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = twr[k];
+        const double wi = conj_sign * twi[k];
+        const double br = b[k].real();
+        const double bi = b[k].imag();
+        const double vr = br * wr - bi * wi;
+        const double vi = br * wi + bi * wr;
+        const double ar = a[k].real();
+        const double ai = a[k].imag();
+        a[k] = {ar + vr, ai + vi};
+        b[k] = {ar - vr, ai - vi};
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (cplx& x : data) x *= scale;
+  }
+}
+
+std::shared_ptr<const FftPlan> FftPlanCache::GetOrBuild(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  for (const auto& plan : plans_) {
+    if (plan->size() == n) return plan;
+  }
+  auto plan = std::make_shared<const FftPlan>(n);
+  plans_.push_back(plan);
+  ++builds_;
+  return plan;
+}
+
+std::size_t FftPlanCache::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+std::size_t FftPlanCache::lookups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookups_;
+}
+
 CVec ApplyTransferFunction(std::span<const cplx> x, double sample_rate_hz,
                            const std::function<cplx(double)>& h_of_f) {
   if (x.empty()) return {};
@@ -67,6 +154,24 @@ CVec ApplyTransferFunction(std::span<const cplx> x, double sample_rate_hz,
   Fft(buf, /*inverse=*/true);
   buf.resize(x.size());
   return buf;
+}
+
+void ApplyTransferFunction(const FftPlan& plan, std::span<const cplx> x_fft,
+                           std::span<const cplx> h_bins,
+                           std::span<cplx> work) {
+  const std::size_t n = plan.size();
+  if (x_fft.size() != n || h_bins.size() != n || work.size() != n) {
+    throw std::invalid_argument(
+        "ApplyTransferFunction: span sizes must match the plan");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double xr = x_fft[k].real();
+    const double xi = x_fft[k].imag();
+    const double hr = h_bins[k].real();
+    const double hi = h_bins[k].imag();
+    work[k] = {xr * hr - xi * hi, xr * hi + xi * hr};
+  }
+  plan.Inverse(work);
 }
 
 }  // namespace bloc::dsp

@@ -13,13 +13,29 @@ std::uint64_t HashName(std::string_view name) noexcept {
   return h;
 }
 
+namespace {
+
+std::uint64_t SplitMix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Rng Rng::Fork(std::string_view name) const {
   // Mix the parent's seed with the child name; splitmix-style finalizer so
   // adjacent names give uncorrelated streams.
-  std::uint64_t z = seed_ + HashName(name) + 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  z ^= z >> 31;
+  return Rng(SplitMix(seed_ + HashName(name) + 0x9E3779B97F4A7C15ULL));
+}
+
+Rng Rng::Fork(std::initializer_list<std::uint64_t> ids) const {
+  // One full splitmix round per id: the intermediate finalization makes the
+  // derivation order-sensitive and keeps adjacent tuples uncorrelated.
+  std::uint64_t z = seed_;
+  for (const std::uint64_t id : ids) {
+    z = SplitMix(z + id + 0x9E3779B97F4A7C15ULL);
+  }
   return Rng(z);
 }
 
@@ -41,6 +57,15 @@ double Rng::Gaussian(double stddev) {
 cplx Rng::ComplexGaussian(double variance) {
   const double s = std::sqrt(variance / 2.0);
   return {Gaussian(s), Gaussian(s)};
+}
+
+void Rng::FillComplexGaussian(std::span<cplx> out, double variance) {
+  std::normal_distribution<double> dist(0.0, std::sqrt(variance / 2.0));
+  for (cplx& v : out) {
+    const double re = dist(engine_);
+    const double im = dist(engine_);
+    v = {re, im};
+  }
 }
 
 cplx Rng::RandomRotor() {

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <random>
+#include <span>
 #include <string_view>
 
 #include "dsp/types.h"
@@ -26,6 +28,16 @@ class Rng {
   /// Derives an independent child stream, e.g. `rng.Fork("noise")`.
   Rng Fork(std::string_view name) const;
 
+  /// Derives an independent child stream from a tuple of integer ids, e.g.
+  /// `rng.Fork({round, channel, antenna})`. Each id goes through one
+  /// splitmix round, so streams for adjacent tuples are uncorrelated and
+  /// the derivation is order-sensitive ((1,2) != (2,1)). This is how the
+  /// measurement simulator gives every (round, channel, anchor, antenna,
+  /// leg) its own noise stream: forking is pure, so parallel workers can
+  /// derive their streams in any order and still reproduce the serial
+  /// output bit for bit.
+  Rng Fork(std::initializer_list<std::uint64_t> ids) const;
+
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
 
@@ -38,6 +50,13 @@ class Rng {
   /// Circularly symmetric complex Gaussian with total variance `variance`
   /// (i.e. variance/2 per real dimension).
   cplx ComplexGaussian(double variance);
+
+  /// Fills `out` with iid complex Gaussians of total variance `variance`.
+  /// One distribution object serves the whole span, so the polar method's
+  /// cached second draw is used instead of discarded — about half the libm
+  /// work of calling ComplexGaussian per sample. (The draw sequence differs
+  /// from repeated ComplexGaussian calls; both are deterministic.)
+  void FillComplexGaussian(std::span<cplx> out, double variance);
 
   /// Uniform phase in [0, 2*pi) as a unit-magnitude complex rotor.
   cplx RandomRotor();

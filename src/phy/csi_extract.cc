@@ -45,26 +45,23 @@ PlateauIndices CsiExtractor::FindPlateaus(
   return out;
 }
 
-CsiEstimate CsiExtractor::Estimate(std::span<const cplx> tx_iq,
-                                   std::span<const cplx> rx_iq,
-                                   const PlateauIndices& plateaus) const {
-  if (tx_iq.size() != rx_iq.size()) {
-    throw std::invalid_argument("CsiExtractor::Estimate: length mismatch");
-  }
-  auto ls_ratio = [&](const std::vector<std::size_t>& idx) -> cplx {
-    cplx num{0, 0};
-    double den = 0.0;
-    for (std::size_t n : idx) {
-      if (n >= tx_iq.size()) continue;
-      num += rx_iq[n] * std::conj(tx_iq[n]);
-      den += std::norm(tx_iq[n]);
-    }
-    return den > 0 ? num / den : cplx{0, 0};
-  };
+namespace {
 
+/// sum(y x*) over the plateau; out-of-range indices are skipped.
+cplx PlateauNumerator(std::span<const cplx> tx_iq, std::span<const cplx> rx_iq,
+                      const std::vector<std::size_t>& idx) {
+  cplx num{0, 0};
+  for (std::size_t n : idx) {
+    if (n >= tx_iq.size()) continue;
+    num += rx_iq[n] * std::conj(tx_iq[n]);
+  }
+  return num;
+}
+
+CsiEstimate AssembleEstimate(cplx h0, cplx h1, const PlateauIndices& plateaus) {
   CsiEstimate est;
-  est.h0 = ls_ratio(plateaus.f0);
-  est.h1 = ls_ratio(plateaus.f1);
+  est.h0 = h0;
+  est.h1 = h1;
   est.n0 = plateaus.f0.size();
   est.n1 = plateaus.f1.size();
   est.valid = est.n0 > 0 && est.n1 > 0;
@@ -77,6 +74,45 @@ CsiEstimate CsiExtractor::Estimate(std::span<const cplx> tx_iq,
     est.merged = est.h1;
   }
   return est;
+}
+
+}  // namespace
+
+CsiEstimate CsiExtractor::Estimate(std::span<const cplx> tx_iq,
+                                   std::span<const cplx> rx_iq,
+                                   const PlateauIndices& plateaus) const {
+  if (tx_iq.size() != rx_iq.size()) {
+    throw std::invalid_argument("CsiExtractor::Estimate: length mismatch");
+  }
+  return Estimate(tx_iq, rx_iq, plateaus,
+                  ComputePlateauEnergies(tx_iq, plateaus));
+}
+
+PlateauEnergies CsiExtractor::ComputePlateauEnergies(
+    std::span<const cplx> tx_iq, const PlateauIndices& plateaus) const {
+  auto energy = [&](const std::vector<std::size_t>& idx) {
+    double den = 0.0;
+    for (std::size_t n : idx) {
+      if (n >= tx_iq.size()) continue;
+      den += std::norm(tx_iq[n]);
+    }
+    return den;
+  };
+  return {energy(plateaus.f0), energy(plateaus.f1)};
+}
+
+CsiEstimate CsiExtractor::Estimate(std::span<const cplx> tx_iq,
+                                   std::span<const cplx> rx_iq,
+                                   const PlateauIndices& plateaus,
+                                   const PlateauEnergies& energies) const {
+  if (tx_iq.size() != rx_iq.size()) {
+    throw std::invalid_argument("CsiExtractor::Estimate: length mismatch");
+  }
+  const cplx num0 = PlateauNumerator(tx_iq, rx_iq, plateaus.f0);
+  const cplx num1 = PlateauNumerator(tx_iq, rx_iq, plateaus.f1);
+  const cplx h0 = energies.e0 > 0 ? num0 / energies.e0 : cplx{0, 0};
+  const cplx h1 = energies.e1 > 0 ? num1 / energies.e1 : cplx{0, 0};
+  return AssembleEstimate(h0, h1, plateaus);
 }
 
 CsiEstimate CsiExtractor::EstimateFromBits(

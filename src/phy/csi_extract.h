@@ -30,6 +30,15 @@ struct PlateauIndices {
   std::vector<std::size_t> f1;
 };
 
+/// Cached least-squares denominators sum(|tx|^2) over each plateau. The
+/// transmit waveform is fixed per data channel, so the measurement
+/// simulator computes these once per channel and every Estimate call skips
+/// a third of the plateau loop.
+struct PlateauEnergies {
+  double e0 = 0.0;
+  double e1 = 0.0;
+};
+
 class CsiExtractor {
  public:
   explicit CsiExtractor(const GfskConfig& config = {});
@@ -47,6 +56,20 @@ class CsiExtractor {
   CsiEstimate Estimate(std::span<const dsp::cplx> tx_iq,
                        std::span<const dsp::cplx> rx_iq,
                        const PlateauIndices& plateaus) const;
+
+  /// Transmit energies sum(|tx|^2) over each plateau, for the cached
+  /// Estimate overload. Out-of-range indices are skipped, matching
+  /// Estimate's behaviour.
+  PlateauEnergies ComputePlateauEnergies(std::span<const dsp::cplx> tx_iq,
+                                         const PlateauIndices& plateaus) const;
+
+  /// Estimate with precomputed plateau energies (identical output to the
+  /// three-argument overload; the denominators come from `energies` instead
+  /// of being re-accumulated per call).
+  CsiEstimate Estimate(std::span<const dsp::cplx> tx_iq,
+                       std::span<const dsp::cplx> rx_iq,
+                       const PlateauIndices& plateaus,
+                       const PlateauEnergies& energies) const;
 
   /// Convenience: regenerates the reference waveform from `air_bits` and
   /// estimates CSI against it.

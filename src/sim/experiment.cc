@@ -22,7 +22,7 @@ dsp::GridSpec RoomGrid(const ScenarioConfig& config, double resolution,
 Dataset GenerateDataset(const ScenarioConfig& config,
                         const DatasetOptions& options) {
   Testbed testbed(config);
-  MeasurementSimulator sim(testbed);
+  MeasurementSimulator sim(testbed, options.measurement_threads);
   sim.SetChannelMap(options.channel_map);
   ViconSystem vicon{dsp::Rng(config.seed)};
 

@@ -37,6 +37,10 @@ struct DatasetOptions {
   /// (scatterers, shadowing) while visiting different positions, e.g. the
   /// fingerprinting survey/query split.
   std::uint64_t position_seed = 0;
+  /// Worker threads for the measurement simulator's per-round fan-out
+  /// (1 = inline, 0 = all hardware threads). Output is bit-identical for
+  /// every thread count.
+  std::size_t measurement_threads = 1;
   /// Progress callback, called after each location (may be empty).
   std::function<void(std::size_t done, std::size_t total)> progress;
 };

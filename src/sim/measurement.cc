@@ -12,9 +12,23 @@ namespace bloc::sim {
 
 using dsp::cplx;
 
-MeasurementSimulator::MeasurementSimulator(Testbed& testbed)
+namespace {
+
+/// RNG-stream leg ids: the tag->anchor and master->anchor measurements of
+/// one (round, channel, anchor, antenna) tuple get distinct noise streams.
+constexpr std::uint64_t kLegTag = 0;
+constexpr std::uint64_t kLegMaster = 1;
+
+}  // namespace
+
+MeasurementSimulator::MeasurementSimulator(Testbed& testbed,
+                                           std::size_t threads)
     : testbed_(testbed),
-      noise_rng_(dsp::Rng(testbed.config().seed).Fork("measurement-noise")) {}
+      noise_root_(dsp::Rng(testbed.config().seed).Fork("measurement-noise")),
+      pool_(threads),
+      workspaces_(pool_.size()) {
+  WarmAssets();
+}
 
 const MeasurementSimulator::ChannelAssets& MeasurementSimulator::AssetsFor(
     std::uint8_t data_channel) {
@@ -26,16 +40,51 @@ const MeasurementSimulator::ChannelAssets& MeasurementSimulator::AssetsFor(
   a.air_bits = phy::AssembleAirBits(packet, data_channel, 0x123456u);
   a.tx_iq = extractor_.modulator().Modulate(a.air_bits);
   a.plateaus = extractor_.FindPlateaus(a.air_bits);
+  a.energies = extractor_.ComputePlateauEnergies(a.tx_iq, a.plateaus);
   a.n0 = a.plateaus.f0.size();
   a.n1 = a.plateaus.f1.size();
+  // The transmit waveform is channel-invariant across measurements: cache
+  // its forward transform so ApplyTransferFunction only pays the inverse.
+  const std::size_t nfft = dsp::NextPow2(a.tx_iq.size());
+  a.plan = fft_plans_.GetOrBuild(nfft);
+  a.tx_fft.assign(nfft, cplx{0.0, 0.0});
+  std::copy(a.tx_iq.begin(), a.tx_iq.end(), a.tx_fft.begin());
+  a.plan->Forward(a.tx_fft);
   assets_ready_[data_channel] = true;
   return a;
+}
+
+void MeasurementSimulator::WarmAssets() {
+  pool_.ParallelFor(link::kNumDataChannels,
+                    [this](std::size_t ch, std::size_t) {
+                      AssetsFor(static_cast<std::uint8_t>(ch));
+                    });
+}
+
+void MeasurementSimulator::EnsureMasterPaths() {
+  if (master_paths_ready_) return;
+  const auto& anchors = testbed_.anchors();
+  const std::size_t master_idx = testbed_.config().master_index;
+  const geom::Vec2 master_tx =
+      anchors[master_idx].geometry().AntennaPosition(0);
+  master_paths_.assign(anchors.size(), {});
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    if (i == master_idx) continue;
+    const auto& geometry = anchors[i].geometry();
+    master_paths_[i].reserve(geometry.num_antennas);
+    for (std::size_t j = 0; j < geometry.num_antennas; ++j) {
+      master_paths_[i].push_back(
+          testbed_.solver().Solve(master_tx, geometry.AntennaPosition(j)));
+    }
+  }
+  master_paths_ready_ = true;
 }
 
 cplx MeasurementSimulator::MeasureAnalytic(const chan::PathSet& paths,
                                            double center_hz,
                                            cplx offset_rotor,
-                                           const ChannelAssets& assets) {
+                                           const ChannelAssets& assets,
+                                           dsp::Rng& rng) const {
   const double dev = phy::kFrequencyDeviationHz;
   const double n0_var =
       testbed_.config().noise.NoiseVariance() /
@@ -44,9 +93,9 @@ cplx MeasurementSimulator::MeasureAnalytic(const chan::PathSet& paths,
       testbed_.config().noise.NoiseVariance() /
       std::max<std::size_t>(assets.n1, 1);
   const cplx h0 = paths.Evaluate(center_hz - dev) * offset_rotor +
-                  noise_rng_.ComplexGaussian(n0_var);
+                  rng.ComplexGaussian(n0_var);
   const cplx h1 = paths.Evaluate(center_hz + dev) * offset_rotor +
-                  noise_rng_.ComplexGaussian(n1_var);
+                  rng.ComplexGaussian(n1_var);
   const cplx hs[2] = {h0, h1};
   return dsp::MergeAmpPhase(hs);
 }
@@ -54,11 +103,66 @@ cplx MeasurementSimulator::MeasureAnalytic(const chan::PathSet& paths,
 cplx MeasurementSimulator::MeasureFullPhy(const chan::PathSet& paths,
                                           double center_hz, cplx offset_rotor,
                                           double cfo_hz,
-                                          const ChannelAssets& assets) {
+                                          const ChannelAssets& assets,
+                                          dsp::Rng& rng, Workspace& ws,
+                                          dsp::CVec* rx_cache) const {
+  const double fs = extractor_.modulator().sample_rate_hz();
+  const std::size_t len = assets.tx_iq.size();
+
+  std::span<const cplx> clean;
+  if (rx_cache != nullptr && !rx_cache->empty()) {
+    clean = std::span<const cplx>(rx_cache->data(), len);
+  } else {
+    const std::size_t nfft = assets.plan->size();
+    const double df = fs / static_cast<double>(nfft);
+    // Channel transfer function directly in FFT bin order: two uniform comb
+    // ramps (DC..+fs/2 and -fs/2..-df) around the band centre, one
+    // incremental rotor pair per path.
+    ws.comb.resize(nfft);
+    if (nfft < 2) {
+      paths.EvaluateCombInto(center_hz, df, ws.comb);
+    } else {
+      const std::size_t half = nfft / 2;
+      paths.EvaluateCombInto(center_hz, df,
+                             std::span<cplx>(ws.comb.data(), half));
+      paths.EvaluateCombInto(center_hz - fs / 2.0, df,
+                             std::span<cplx>(ws.comb.data() + half, half));
+    }
+    ws.work.resize(nfft);
+    dsp::ApplyTransferFunction(*assets.plan, assets.tx_fft, ws.comb, ws.work);
+    if (rx_cache != nullptr) {
+      rx_cache->assign(ws.work.begin(),
+                       ws.work.begin() + static_cast<std::ptrdiff_t>(len));
+    }
+    clean = std::span<const cplx>(ws.work.data(), len);
+  }
+
+  // Fused single pass: LO offset rotor, CFO mixing via an incremental rotor
+  // recurrence (no libm in the loop) and AWGN.
+  const double noise_var = testbed_.config().noise.NoiseVariance();
+  ws.noise.resize(len);
+  rng.FillComplexGaussian(ws.noise, noise_var);
+  ws.rx.resize(len);
+  dsp::IncrementalRotor rotor(offset_rotor, dsp::kTwoPi * cfo_hz / fs);
+  for (std::size_t n = 0; n < len; ++n) {
+    const double vr = clean[n].real();
+    const double vi = clean[n].imag();
+    ws.rx[n] = {vr * rotor.re() - vi * rotor.im() + ws.noise[n].real(),
+                vr * rotor.im() + vi * rotor.re() + ws.noise[n].imag()};
+    rotor.Advance();
+  }
+  const phy::CsiEstimate est = extractor_.Estimate(
+      assets.tx_iq, std::span<const cplx>(ws.rx.data(), len), assets.plateaus,
+      assets.energies);
+  return est.merged;
+}
+
+cplx MeasurementSimulator::MeasureFullPhyReference(
+    const chan::PathSet& paths, double center_hz, cplx offset_rotor,
+    double cfo_hz, const ChannelAssets& assets, dsp::Rng& rng,
+    Workspace& ws) const {
   const double fs = extractor_.modulator().sample_rate_hz();
   const std::size_t nfft = dsp::NextPow2(assets.tx_iq.size());
-  // Channel transfer function per FFT bin, evaluated on a uniform comb so
-  // each path costs one sincos pair instead of one per bin.
   const dsp::CVec comb =
       paths.EvaluateComb(center_hz - fs / 2.0, fs / static_cast<double>(nfft),
                          nfft);
@@ -71,14 +175,18 @@ cplx MeasurementSimulator::MeasureFullPhy(const chan::PathSet& paths,
         return comb[idx];
       });
 
+  // Same noise draw as the fast path (one buffered fill per measurement),
+  // so the two paths differ only in their kernels.
   const double noise_var = testbed_.config().noise.NoiseVariance();
+  ws.noise.resize(rx.size());
+  rng.FillComplexGaussian(ws.noise, noise_var);
   const double dt = 1.0 / fs;
   for (std::size_t n = 0; n < rx.size(); ++n) {
     cplx v = rx[n] * offset_rotor;
     if (cfo_hz != 0.0) {
       v *= dsp::Rotor(dsp::kTwoPi * cfo_hz * static_cast<double>(n) * dt);
     }
-    rx[n] = v + noise_rng_.ComplexGaussian(noise_var);
+    rx[n] = v + ws.noise[n];
   }
   const phy::CsiEstimate est =
       extractor_.Estimate(assets.tx_iq, rx, assets.plateaus);
@@ -89,24 +197,25 @@ net::MeasurementRound MeasurementSimulator::RunRound(
     const geom::Vec2& tag_position, std::uint64_t round_id) {
   const ScenarioConfig& cfg = testbed_.config();
   auto& anchors = testbed_.anchors();
+  const std::size_t num_anchors = anchors.size();
   const std::size_t master_idx = cfg.master_index;
-  const geom::Vec2 master_tx =
-      anchors[master_idx].geometry().AntennaPosition(0);
 
-  // Propagation geometry is frequency-independent: solve every link once
-  // per round, evaluate per band.
-  std::vector<std::vector<chan::PathSet>> tag_paths(anchors.size());
-  std::vector<std::vector<chan::PathSet>> master_paths(anchors.size());
-  for (std::size_t i = 0; i < anchors.size(); ++i) {
+  // Propagation geometry is frequency-independent: master links never move
+  // (solved once per simulator), tag links once per round.
+  EnsureMasterPaths();
+  tag_paths_.resize(num_anchors);
+  antenna_offset_.resize(num_anchors + 1);
+  antenna_offset_[0] = 0;
+  for (std::size_t i = 0; i < num_anchors; ++i) {
     const auto& geometry = anchors[i].geometry();
+    tag_paths_[i].resize(geometry.num_antennas);
     for (std::size_t j = 0; j < geometry.num_antennas; ++j) {
-      const geom::Vec2 rx = geometry.AntennaPosition(j);
-      tag_paths[i].push_back(testbed_.solver().Solve(tag_position, rx));
-      if (i != master_idx) {
-        master_paths[i].push_back(testbed_.solver().Solve(master_tx, rx));
-      }
+      tag_paths_[i][j] =
+          testbed_.solver().Solve(tag_position, geometry.AntennaPosition(j));
     }
+    antenna_offset_[i + 1] = antenna_offset_[i] + geometry.num_antennas;
   }
+  const std::size_t total_antennas = antenna_offset_[num_anchors];
 
   // Establish the BLE connection and hop through one localization round.
   link::Connection conn;
@@ -115,59 +224,113 @@ net::MeasurementRound MeasurementSimulator::RunRound(
   params.channel_map = channel_map_;
   conn.Connect(params);
   const std::vector<link::ConnectionEvent> events = conn.LocalizationRound();
+  const std::size_t num_events = events.size();
 
   for (anchor::AnchorNode& node : anchors) node.BeginRound(round_id);
 
-  for (const link::ConnectionEvent& ev : events) {
-    const std::uint8_t ch = ev.data_channel;
-    const double fc = link::DataChannelFrequencyHz(ch);
-    const ChannelAssets& assets = AssetsFor(ch);
-
-    // Every radio retunes its LO for the new band: fresh random phases.
+  // Serial pre-pass: every radio retunes its LO per hop (fresh random
+  // phases, drawn in the legacy order), and the resulting offset rotors and
+  // CFO deltas are captured per (event, anchor, antenna). The parallel
+  // phase below only reads this state.
+  ev_tag_rotor_.resize(num_events * total_antennas);
+  ev_master_rotor_.resize(num_events * total_antennas);
+  ev_tag_cfo_.resize(num_events * num_anchors);
+  ev_master_cfo_.resize(num_events * num_anchors);
+  for (std::size_t e = 0; e < num_events; ++e) {
+    const double fc = link::DataChannelFrequencyHz(events[e].data_channel);
     testbed_.tag_oscillator().Retune();
     for (anchor::AnchorNode& node : anchors) node.oscillator().Retune();
-    const double phi_tag = testbed_.tag_oscillator().phase();
-    const double phi_master = anchors[master_idx].oscillator().phase();
+    const cplx tag_lo = dsp::Rotor(testbed_.tag_oscillator().phase());
+    const cplx master_lo = dsp::Rotor(anchors[master_idx].oscillator().phase());
     const double tag_cfo = testbed_.tag_oscillator().CfoHz(fc);
     const double master_cfo = anchors[master_idx].oscillator().CfoHz(fc);
-
-    for (std::size_t i = 0; i < anchors.size(); ++i) {
-      anchor::AnchorNode& node = anchors[i];
-      const std::size_t antennas = node.geometry().num_antennas;
-      anchor::BandMeasurement band;
-      band.data_channel = ch;
-      band.freq_hz = fc;
-      band.tag_csi.resize(antennas);
-      band.master_csi.resize(i == master_idx ? 0 : antennas);
-
-      for (std::size_t j = 0; j < antennas; ++j) {
-        // Tag packet: offset e^{j(phi_T - phi_Ri)} (+ per-antenna error).
+    for (std::size_t i = 0; i < num_anchors; ++i) {
+      const anchor::AnchorNode& node = anchors[i];
+      const double node_cfo = node.oscillator().CfoHz(fc);
+      ev_tag_cfo_[e * num_anchors + i] = tag_cfo - node_cfo;
+      ev_master_cfo_[e * num_anchors + i] = master_cfo - node_cfo;
+      for (std::size_t j = 0; j < node.geometry().num_antennas; ++j) {
+        // Offset e^{j(phi_T - phi_Ri)} (+ per-antenna error).
         const cplx rx_rotor = std::conj(node.oscillator().PhaseRotor(j));
-        const cplx tag_rotor = dsp::Rotor(phi_tag) * rx_rotor;
-        if (cfg.mode == MeasurementMode::kAnalytic) {
-          band.tag_csi[j] =
-              MeasureAnalytic(tag_paths[i][j], fc, tag_rotor, assets);
-        } else {
-          band.tag_csi[j] =
-              MeasureFullPhy(tag_paths[i][j], fc, tag_rotor,
-                             tag_cfo - node.oscillator().CfoHz(fc), assets);
-        }
-        // Master response, overheard by slave anchors only.
-        if (i != master_idx) {
-          const cplx master_rotor = dsp::Rotor(phi_master) * rx_rotor;
+        ev_tag_rotor_[e * total_antennas + antenna_offset_[i] + j] =
+            tag_lo * rx_rotor;
+        ev_master_rotor_[e * total_antennas + antenna_offset_[i] + j] =
+            master_lo * rx_rotor;
+      }
+    }
+  }
+
+  // Parallel fan-out over (event, anchor) pairs. Each measurement forks its
+  // own noise stream from (round, channel, anchor id, antenna, leg), so the
+  // result is independent of which worker runs it.
+  master_rx_.resize(link::kNumDataChannels * total_antennas);
+  bands_.clear();
+  bands_.resize(num_events * num_anchors);
+  pool_.ParallelFor(
+      num_events * num_anchors, [&](std::size_t idx, std::size_t slot) {
+        const std::size_t e = idx / num_anchors;
+        const std::size_t i = idx % num_anchors;
+        const std::uint8_t ch = events[e].data_channel;
+        const double fc = link::DataChannelFrequencyHz(ch);
+        const ChannelAssets& assets = assets_[ch];
+        const anchor::AnchorNode& node = anchors[i];
+        const std::size_t antennas = node.geometry().num_antennas;
+        Workspace& ws = workspaces_[slot];
+
+        anchor::BandMeasurement band;
+        band.data_channel = ch;
+        band.freq_hz = fc;
+        band.tag_csi.resize(antennas);
+        band.master_csi.resize(i == master_idx ? 0 : antennas);
+        for (std::size_t j = 0; j < antennas; ++j) {
+          // Tag packet, then (on slave anchors) the overheard master reply.
+          const cplx tag_rotor =
+              ev_tag_rotor_[e * total_antennas + antenna_offset_[i] + j];
+          dsp::Rng tag_rng =
+              noise_root_.Fork({round_id, ch, node.id(), j, kLegTag});
+          if (cfg.mode == MeasurementMode::kAnalytic) {
+            band.tag_csi[j] =
+                MeasureAnalytic(tag_paths_[i][j], fc, tag_rotor, assets,
+                                tag_rng);
+          } else if (use_reference_fullphy_) {
+            band.tag_csi[j] = MeasureFullPhyReference(
+                tag_paths_[i][j], fc, tag_rotor,
+                ev_tag_cfo_[e * num_anchors + i], assets, tag_rng, ws);
+          } else {
+            band.tag_csi[j] = MeasureFullPhy(
+                tag_paths_[i][j], fc, tag_rotor,
+                ev_tag_cfo_[e * num_anchors + i], assets, tag_rng, ws,
+                nullptr);
+          }
+          if (i == master_idx) continue;
+          const cplx master_rotor =
+              ev_master_rotor_[e * total_antennas + antenna_offset_[i] + j];
+          dsp::Rng master_rng =
+              noise_root_.Fork({round_id, ch, node.id(), j, kLegMaster});
           if (cfg.mode == MeasurementMode::kAnalytic) {
             band.master_csi[j] =
-                MeasureAnalytic(master_paths[i][j], fc, master_rotor, assets);
+                MeasureAnalytic(master_paths_[i][j], fc, master_rotor, assets,
+                                master_rng);
+          } else if (use_reference_fullphy_) {
+            band.master_csi[j] = MeasureFullPhyReference(
+                master_paths_[i][j], fc, master_rotor,
+                ev_master_cfo_[e * num_anchors + i], assets, master_rng, ws);
           } else {
             band.master_csi[j] = MeasureFullPhy(
-                master_paths[i][j], fc, master_rotor,
-                master_cfo - node.oscillator().CfoHz(fc), assets);
+                master_paths_[i][j], fc, master_rotor,
+                ev_master_cfo_[e * num_anchors + i], assets, master_rng, ws,
+                &master_rx_[ch * total_antennas + antenna_offset_[i] + j]);
           }
         }
-      }
-      band.rssi_db = 20.0 * std::log10(
-                                std::max(std::abs(band.tag_csi[0]), 1e-12));
-      node.RecordBand(std::move(band));
+        band.rssi_db = 20.0 * std::log10(
+                                  std::max(std::abs(band.tag_csi[0]), 1e-12));
+        bands_[idx] = std::move(band);
+      });
+
+  // Serial assembly in the legacy (event, anchor) order.
+  for (std::size_t e = 0; e < num_events; ++e) {
+    for (std::size_t i = 0; i < num_anchors; ++i) {
+      anchors[i].RecordBand(std::move(bands_[e * num_anchors + i]));
     }
   }
 

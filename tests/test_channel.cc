@@ -38,6 +38,42 @@ TEST(PathSet, EvaluateCombMatchesPointwise) {
   }
 }
 
+TEST(PathSet, EvaluateCombIntoMatchesPointwiseOnLongCombs) {
+  // Enough paths to fill several SIMD lane chunks (including a ragged
+  // tail) and enough bins to cross the renormalization interval.
+  PathSet ps;
+  for (int p = 0; p < 21; ++p) {
+    ps.paths.push_back({3.0 + 0.83 * p, (p % 2 ? -1.0 : 1.0) * 0.3 / (1 + p),
+                        PathKind::kSpecular, p});
+  }
+  const double f0 = 2.402e9, step = 3.90625e3;  // 8 MHz / 2048
+  dsp::CVec comb(2048);
+  ps.EvaluateCombInto(f0, step, comb);
+  for (std::size_t k = 0; k < comb.size(); ++k) {
+    const cplx direct = ps.Evaluate(f0 + step * static_cast<double>(k));
+    ASSERT_NEAR(std::abs(comb[k] - direct), 0.0, 1e-9)
+        << "bin " << k << " diverged";
+  }
+}
+
+TEST(PathSet, EvaluateCombIntoOverwritesPriorContents) {
+  PathSet ps;
+  ps.paths.push_back({4.2, 0.25, PathKind::kDirect, -1});
+  dsp::CVec comb(16, cplx{123.0, -45.0});
+  ps.EvaluateCombInto(2.44e9, 1.0e6, comb);
+  for (std::size_t k = 0; k < comb.size(); ++k) {
+    const cplx direct = ps.Evaluate(2.44e9 + 1.0e6 * static_cast<double>(k));
+    EXPECT_NEAR(std::abs(comb[k] - direct), 0.0, 1e-9);
+  }
+}
+
+TEST(PathSet, EvaluateCombIntoEmptyPathsGivesZeros) {
+  PathSet empty;
+  dsp::CVec comb(8, cplx{1.0, 1.0});
+  empty.EvaluateCombInto(2.44e9, 1.0e6, comb);
+  for (const cplx& v : comb) EXPECT_EQ(v, (cplx{0.0, 0.0}));
+}
+
 TEST(PathSet, ShortestAndStrongest) {
   PathSet ps;
   ps.paths.push_back({5.0, 0.1, PathKind::kDirect, -1});

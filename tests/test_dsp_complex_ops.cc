@@ -81,6 +81,48 @@ TEST(MergeAmpPhase, EmptyIsZero) {
   EXPECT_EQ(MergeAmpPhase({}), (cplx{0, 0}));
 }
 
+TEST(MergeAmpPhase, ZeroSamplesContributeAmplitudeOnly) {
+  // A zero sample dilutes the amplitude average but must not perturb the
+  // direction average (regression for the single-|s| rewrite).
+  const CVec samples = {cplx{0, 0}, 2.0 * Rotor(0.7)};
+  const cplx merged = MergeAmpPhase(samples);
+  EXPECT_NEAR(std::abs(merged), 1.0, 1e-12);
+  EXPECT_NEAR(std::arg(merged), 0.7, 1e-12);
+}
+
+TEST(MergeAmpPhase, HandComputedThreeSamples) {
+  const CVec samples = {Rotor(0.1), 2.0 * Rotor(0.2), 3.0 * Rotor(0.3)};
+  const cplx merged = MergeAmpPhase(samples);
+  EXPECT_NEAR(std::abs(merged), 2.0, 1e-12);
+  EXPECT_NEAR(std::arg(merged), 0.2, 1e-12);
+}
+
+TEST(IncrementalRotor, TracksLibmRotor) {
+  // 20k steps crosses the renormalization interval many times; the
+  // recurrence must stay within 1e-9 of the direct libm evaluation.
+  const cplx start = 0.75 * Rotor(0.4);
+  const double step = 1.7e-3;
+  IncrementalRotor rotor(start, step);
+  for (int n = 0; n < 20000; ++n) {
+    const cplx expected = start * Rotor(step * n);
+    EXPECT_NEAR(std::abs(rotor.value() - expected), 0.0, 1e-9);
+    rotor.Advance();
+  }
+}
+
+TEST(IncrementalRotor, HoldsMagnitudeOverLongRuns) {
+  IncrementalRotor rotor(Rotor(1.1), 2.5e-4);
+  for (int n = 0; n < 200000; ++n) rotor.Advance();
+  EXPECT_NEAR(std::abs(rotor.value()), 1.0, 1e-11);
+}
+
+TEST(IncrementalRotor, ZeroStepIsConstant) {
+  const cplx start{0.6, -0.8};
+  IncrementalRotor rotor(start, 0.0);
+  for (int n = 0; n < 1000; ++n) rotor.Advance();
+  EXPECT_NEAR(std::abs(rotor.value() - start), 0.0, 1e-12);
+}
+
 TEST(FitLine, ExactLine) {
   RVec xs, ys;
   for (int i = 0; i < 20; ++i) {

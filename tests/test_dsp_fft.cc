@@ -132,8 +132,104 @@ TEST_P(FftSizesTest, RoundTripAtSize) {
   }
 }
 
+TEST_P(FftSizesTest, PlanMatchesLegacyFft) {
+  const std::size_t n = GetParam();
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Rotor(0.7 * i + 0.13);
+  CVec legacy = x;
+  CVec planned = x;
+  Fft(legacy, false);
+  const FftPlan plan(n);
+  plan.Forward(planned);
+  // The legacy transform accumulates recurrence drift (~5e-11 at 4096); the
+  // plan's twiddles are exact, so the gap is the legacy error.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(planned[i] - legacy[i]), 0.0, 1e-9);
+  }
+  Fft(legacy, true);
+  plan.Inverse(planned);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(planned[i] - legacy[i]), 0.0, 1e-9);
+  }
+}
+
+TEST_P(FftSizesTest, PlanRoundTripIsExact) {
+  const std::size_t n = GetParam();
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Rotor(1.3 * i - 0.4);
+  CVec y = x;
+  const FftPlan plan(n);
+  plan.Forward(y);
+  plan.Inverse(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizesTest,
                          ::testing::Values(1, 2, 4, 8, 64, 256, 1024, 4096));
+
+TEST(FftPlan, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(FftPlan(1920), std::invalid_argument);
+}
+
+TEST(FftPlan, RejectsSizeMismatch) {
+  const FftPlan plan(16);
+  CVec x(8);
+  EXPECT_THROW(plan.Forward(x), std::invalid_argument);
+  EXPECT_THROW(plan.Inverse(x), std::invalid_argument);
+}
+
+TEST(FftPlanCache, BuildsEachSizeOnce) {
+  FftPlanCache cache;
+  const auto a = cache.GetOrBuild(256);
+  const auto b = cache.GetOrBuild(1024);
+  const auto c = cache.GetOrBuild(256);
+  EXPECT_EQ(a.get(), c.get());
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_EQ(cache.lookups(), 3u);
+}
+
+TEST(ApplyTransferFunctionPlanned, MatchesLegacyCallbackVariant) {
+  const double fs = 8.0e6;
+  CVec x;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(Rotor(0.21 * i) * (0.5 + 0.01 * i));
+  }
+  // A smooth frequency response evaluated two ways: per-bin callback
+  // (legacy, allocating) and precomputed bins through the plan.
+  const auto h_of_f = [](double f) {
+    return cplx{0.8, 0.1} * Rotor(kTwoPi * f * 2.0e-8);
+  };
+  const CVec legacy = ApplyTransferFunction(x, fs, h_of_f);
+
+  const std::size_t n = NextPow2(x.size());
+  const FftPlan plan(n);
+  CVec x_fft(n, cplx{0, 0});
+  std::copy(x.begin(), x.end(), x_fft.begin());
+  plan.Forward(x_fft);
+  CVec h_bins(n);
+  for (std::size_t k = 0; k < n; ++k) h_bins[k] = h_of_f(BinFrequency(k, n, fs));
+  CVec work(n);
+  ApplyTransferFunction(plan, x_fft, h_bins, work);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(work[i] - legacy[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(ApplyTransferFunctionPlanned, RejectsSizeMismatch) {
+  const FftPlan plan(16);
+  CVec ok(16), bad(8);
+  EXPECT_THROW(ApplyTransferFunction(plan, bad, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW(ApplyTransferFunction(plan, ok, bad, ok),
+               std::invalid_argument);
+  EXPECT_THROW(ApplyTransferFunction(plan, ok, ok, bad),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace bloc::dsp

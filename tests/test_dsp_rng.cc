@@ -44,6 +44,60 @@ TEST(Rng, ForkIgnoresParentConsumption) {
   EXPECT_DOUBLE_EQ(a.Fork("x").Uniform(0, 1), b.Fork("x").Uniform(0, 1));
 }
 
+TEST(Rng, TupleForkIsDeterministicAndPure) {
+  Rng root(42);
+  Rng a = root.Fork({3, 1, 4, 1, 5});
+  root.Uniform(0, 1);  // parent consumption must not matter
+  Rng b = root.Fork({3, 1, 4, 1, 5});
+  EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+}
+
+TEST(Rng, TupleForkIsOrderSensitive) {
+  Rng root(42);
+  Rng ab = root.Fork({1, 2});
+  Rng ba = root.Fork({2, 1});
+  EXPECT_NE(ab.Uniform(0, 1), ba.Uniform(0, 1));
+}
+
+TEST(Rng, TupleForkAdjacentIdsDecorrelate) {
+  // Neighbouring tuples (as the measurement simulator produces per
+  // antenna/leg) must give unrelated streams.
+  Rng root(7);
+  Rng a = root.Fork({10, 0, 0});
+  Rng b = root.Fork({10, 0, 1});
+  Rng c = root.Fork({10, 1, 0});
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double va = a.Uniform(0, 1);
+    if (va == b.Uniform(0, 1)) ++same;
+    if (va == c.Uniform(0, 1)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, FillComplexGaussianMatchesRequestedVariance) {
+  Rng rng(11);
+  CVec buf(20000);
+  rng.FillComplexGaussian(buf, 2.0);
+  double power = 0.0, mean_re = 0.0;
+  for (const cplx& v : buf) {
+    power += std::norm(v);
+    mean_re += v.real();
+  }
+  power /= static_cast<double>(buf.size());
+  mean_re /= static_cast<double>(buf.size());
+  EXPECT_NEAR(power, 2.0, 0.1);
+  EXPECT_NEAR(mean_re, 0.0, 0.05);
+}
+
+TEST(Rng, FillComplexGaussianIsDeterministic) {
+  Rng a(13), b(13);
+  CVec x(64), y(64);
+  a.FillComplexGaussian(x, 0.5);
+  b.FillComplexGaussian(y, 0.5);
+  EXPECT_EQ(x, y);
+}
+
 TEST(Rng, UniformRange) {
   Rng rng(7);
   for (int i = 0; i < 1000; ++i) {

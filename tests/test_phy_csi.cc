@@ -97,6 +97,28 @@ TEST(CsiExtractor, MergedAveragesAmpAndPhase) {
   EXPECT_NEAR(std::arg(est.merged), 0.3, 0.02);
 }
 
+TEST(CsiExtractor, CachedEnergiesOverloadIsIdentical) {
+  // The four-argument Estimate with precomputed plateau energies must be
+  // bit-identical to the three-argument overload (same accumulation order).
+  const CsiExtractor extractor;
+  const Bits air = LocalizationAirBits(9);
+  const dsp::CVec tx = extractor.modulator().Modulate(air);
+  const double fs = extractor.modulator().sample_rate_hz();
+  const dsp::CVec rx = dsp::ApplyTransferFunction(
+      tx, fs, [](double f) { return f < 0 ? cplx{0.4, 0.1} : cplx{0.7, -0.2}; });
+  const PlateauIndices plateaus = extractor.FindPlateaus(air);
+  const PlateauEnergies energies =
+      extractor.ComputePlateauEnergies(tx, plateaus);
+  EXPECT_GT(energies.e0, 0.0);
+  EXPECT_GT(energies.e1, 0.0);
+  const CsiEstimate direct = extractor.Estimate(tx, rx, plateaus);
+  const CsiEstimate cached = extractor.Estimate(tx, rx, plateaus, energies);
+  EXPECT_EQ(direct.h0, cached.h0);
+  EXPECT_EQ(direct.h1, cached.h1);
+  EXPECT_EQ(direct.merged, cached.merged);
+  EXPECT_EQ(direct.valid, cached.valid);
+}
+
 TEST(CsiExtractor, NoiseAveragesDown) {
   const CsiExtractor extractor;
   const Bits air = LocalizationAirBits(20);

@@ -163,6 +163,103 @@ TEST(Measurement, AnalyticMatchesFullPhy) {
   }
 }
 
+/// Full-PHY scenario with CFO enabled (exercises the incremental-rotor
+/// mixing) on a reduced channel map for speed.
+ScenarioConfig SmallFullPhyConfig(std::uint64_t seed) {
+  ScenarioConfig cfg = LosClean(seed);
+  cfg.mode = MeasurementMode::kFullPhy;
+  cfg.impairments.cfo_ppm_std = 20.0;
+  return cfg;
+}
+
+void ExpectRoundsBitIdentical(const net::MeasurementRound& a,
+                              const net::MeasurementRound& b) {
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const anchor::CsiReport& ra = a.reports[i];
+    const anchor::CsiReport& rb = b.reports[i];
+    ASSERT_EQ(ra.bands.size(), rb.bands.size());
+    for (std::size_t k = 0; k < ra.bands.size(); ++k) {
+      EXPECT_EQ(ra.bands[k].data_channel, rb.bands[k].data_channel);
+      EXPECT_EQ(ra.bands[k].tag_csi, rb.bands[k].tag_csi)
+          << "anchor " << i << " band " << k;
+      EXPECT_EQ(ra.bands[k].master_csi, rb.bands[k].master_csi)
+          << "anchor " << i << " band " << k;
+      EXPECT_EQ(ra.bands[k].rssi_db, rb.bands[k].rssi_db);
+    }
+  }
+}
+
+TEST(Measurement, FullPhyBitIdenticalAcrossThreadCounts) {
+  // Per-measurement RNG streams are forked from (round, channel, anchor,
+  // antenna, leg), so the fan-out must produce the same bits no matter how
+  // many workers run it. Round 1 additionally exercises the cached
+  // master-leg waveforms built during round 0.
+  const geom::Vec2 tag{2.4, 1.6};
+  std::vector<net::MeasurementRound> round0, round1;
+  for (const std::size_t threads : {1, 2, 4}) {
+    Testbed testbed(SmallFullPhyConfig(8));
+    MeasurementSimulator simulator(testbed, threads);
+    simulator.SetChannelMap(link::ChannelMap::Subsampled(8));
+    round0.push_back(simulator.RunRound(tag, 0));
+    round1.push_back(simulator.RunRound({1.1, 3.0}, 1));
+  }
+  for (std::size_t t = 1; t < round0.size(); ++t) {
+    ExpectRoundsBitIdentical(round0[0], round0[t]);
+    ExpectRoundsBitIdentical(round1[0], round1[t]);
+  }
+}
+
+TEST(Measurement, FullPhyPlannedMatchesReferenceKernels) {
+  // Fast path (FFT plans, incremental rotors, cached master waveforms) vs
+  // the pre-optimization reference kernels. Both draw identical noise, so
+  // any difference is kernel numerics — bounded well under the noise floor.
+  const geom::Vec2 tag{2.4, 1.6};
+  Testbed ref_bed(SmallFullPhyConfig(8));
+  Testbed fast_bed(SmallFullPhyConfig(8));
+  MeasurementSimulator reference(ref_bed);
+  MeasurementSimulator planned(fast_bed);
+  reference.UseReferenceFullPhy(true);
+  reference.SetChannelMap(link::ChannelMap::Subsampled(8));
+  planned.SetChannelMap(link::ChannelMap::Subsampled(8));
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    const auto r_ref = reference.RunRound(tag, round);
+    const auto r_fast = planned.RunRound(tag, round);
+    ASSERT_EQ(r_ref.reports.size(), r_fast.reports.size());
+    for (std::size_t i = 0; i < r_ref.reports.size(); ++i) {
+      const auto& bands_ref = r_ref.reports[i].bands;
+      const auto& bands_fast = r_fast.reports[i].bands;
+      ASSERT_EQ(bands_ref.size(), bands_fast.size());
+      for (std::size_t k = 0; k < bands_ref.size(); ++k) {
+        for (std::size_t j = 0; j < bands_ref[k].tag_csi.size(); ++j) {
+          EXPECT_NEAR(std::abs(bands_ref[k].tag_csi[j] -
+                               bands_fast[k].tag_csi[j]),
+                      0.0, 1e-9)
+              << "tag leg, anchor " << i << " band " << k << " antenna " << j;
+        }
+        for (std::size_t j = 0; j < bands_ref[k].master_csi.size(); ++j) {
+          EXPECT_NEAR(std::abs(bands_ref[k].master_csi[j] -
+                               bands_fast[k].master_csi[j]),
+                      0.0, 1e-9)
+              << "master leg, anchor " << i << " band " << k << " antenna "
+              << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Measurement, FftPlanCacheAmortizesAcrossRounds) {
+  Testbed testbed(SmallFullPhyConfig(8));
+  MeasurementSimulator simulator(testbed);
+  simulator.SetChannelMap(link::ChannelMap::Subsampled(8));
+  const std::size_t builds_after_warmup = simulator.fft_plans().builds();
+  EXPECT_GE(builds_after_warmup, 1u);
+  simulator.RunRound({2.0, 2.0}, 0);
+  simulator.RunRound({2.5, 2.5}, 1);
+  EXPECT_EQ(simulator.fft_plans().builds(), builds_after_warmup);
+}
+
 TEST(Experiment, DatasetGenerationThroughNetStack) {
   DatasetOptions options;
   options.locations = 3;
