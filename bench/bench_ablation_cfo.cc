@@ -15,21 +15,20 @@
 
 int main(int argc, char** argv) {
   using namespace bloc;
-  sim::CliArgs args(argc, argv);
-  const std::size_t locations = args.SizeT("locations", 20);
-  const std::uint64_t seed = args.U64("seed", 1);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv, 20));
+  const bench::BenchSetup& setup = driver.setup();
+  const std::size_t locations = setup.options.locations;
 
   std::cout << "=== Ablation: CFO robustness of full-PHY CSI measurement ("
             << locations << " locations, waveform-level simulation) ===\n";
 
   std::vector<std::vector<std::string>> rows;
   for (const double cfo_ppm : {0.0, 10.0, 30.0, 50.0}) {
-    sim::ScenarioConfig scenario = sim::PaperTestbed(seed);
+    sim::ScenarioConfig scenario = setup.scenario;
     scenario.mode = sim::MeasurementMode::kFullPhy;
     scenario.impairments.cfo_ppm_std = cfo_ppm;
-    sim::DatasetOptions options;
-    options.locations = locations;
-    const sim::Dataset dataset = sim::GenerateDataset(scenario, options);
+    sim::DatasetOptions options = setup.options;
+    const sim::Dataset dataset = driver.Obtain(scenario, options);
     const std::vector<double> errors =
         sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset));
     const auto stats = eval::ComputeStats(errors);

@@ -29,26 +29,24 @@ std::vector<double> EvaluateFingerprint(
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::CliArgs args(argc, argv);
-  const std::size_t locations = args.SizeT("locations", 120);
-  const std::uint64_t seed = args.U64("seed", 1);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv, 120));
+  const bench::BenchSetup& setup = driver.setup();
+  const std::size_t locations = setup.options.locations;
 
   std::cout << "=== Ablation: RSSI fingerprinting vs environment change ("
             << locations << " survey + " << locations
             << " query locations) ===\n";
 
-  const sim::ScenarioConfig original = sim::PaperTestbed(seed);
+  const sim::ScenarioConfig& original = setup.scenario;
 
   // Survey and queries in the same (original) room, different positions.
-  sim::DatasetOptions survey_opts;
-  survey_opts.locations = locations;
+  sim::DatasetOptions survey_opts = setup.options;
   survey_opts.position_seed = 777;
-  const sim::Dataset survey = sim::GenerateDataset(original, survey_opts);
+  const sim::Dataset survey = driver.Obtain(original, survey_opts);
 
-  sim::DatasetOptions query_opts;
-  query_opts.locations = locations;
+  sim::DatasetOptions query_opts = setup.options;
   query_opts.position_seed = 888;
-  const sim::Dataset same_room = sim::GenerateDataset(original, query_opts);
+  const sim::Dataset same_room = driver.Obtain(original, query_opts);
 
   // The "furniture moved" room: the metal cupboard is dragged to the middle
   // of the room (shadowing many anchor-tag links that used to be clear) and
@@ -58,7 +56,7 @@ int main(int argc, char** argv) {
   changed.obstacles[0].max_corner = {3.4, 3.6};
   changed.obstacles[1].min_corner = {0.6, 1.8};
   changed.obstacles[1].max_corner = {1.5, 2.6};
-  const sim::Dataset moved_room = sim::GenerateDataset(changed, query_opts);
+  const sim::Dataset moved_room = driver.Obtain(changed, query_opts);
 
   baseline::RssiFingerprint fingerprint;
   for (std::size_t i = 0; i < survey.rounds.size(); ++i) {

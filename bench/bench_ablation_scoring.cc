@@ -11,11 +11,12 @@
 
 int main(int argc, char** argv) {
   using namespace bloc;
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv, 150);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv, 150));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Ablation: Eq. 18 score weights (a: distance, b: entropy; "
             << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
 
   std::vector<std::vector<std::string>> rows;
   for (const double a : {0.0, 0.05, 0.1, 0.2, 0.4}) {

@@ -37,11 +37,12 @@ std::vector<std::uint8_t> CenteredChannels(std::size_t count) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Figure 10: effect of stitched bandwidth ("
             << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
 
   struct Point {
     double bandwidth_mhz;

@@ -13,11 +13,12 @@
 
 int main(int argc, char** argv) {
   using namespace bloc;
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Figure 11: interference avoidance / channel subsampling ("
             << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
 
   struct Case {
     std::string label;

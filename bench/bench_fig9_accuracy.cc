@@ -10,11 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace bloc;
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Figure 9(a): localization accuracy, BLoc vs AoA baseline"
             << " (" << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
 
   const std::vector<double> bloc_errors =
       sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset),

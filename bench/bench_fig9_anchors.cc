@@ -48,11 +48,12 @@ std::vector<double> AverageOverSubsets(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Figure 9(b): effect of number of anchors ("
             << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
   const std::uint32_t master_id = dataset.deployment.Master()->id;
   std::vector<std::uint32_t> all_ids;
   for (const auto& a : dataset.deployment.anchors) all_ids.push_back(a.id);

@@ -9,11 +9,12 @@
 
 int main(int argc, char** argv) {
   using namespace bloc;
-  const bench::BenchSetup setup = bench::ParseSetup(argc, argv);
+  bench::ExperimentDriver driver(bench::ParseSetup(argc, argv));
+  const bench::BenchSetup& setup = driver.setup();
   std::cout << "=== Figure 9(c): effect of number of antennas ("
             << setup.options.locations << " locations) ===\n";
 
-  const sim::Dataset dataset = bench::GenerateWithProgress(setup);
+  const sim::Dataset& dataset = driver.dataset();
 
   std::vector<eval::NamedCdf> series;
   std::vector<std::vector<std::string>> rows;

@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,6 +30,7 @@
 #include "net/messages.h"
 #include "phy/csi_extract.h"
 #include "phy/packet.h"
+#include "sim/dataset_io.h"
 #include "sim/experiment.h"
 
 namespace {
@@ -378,11 +380,87 @@ std::vector<SweepPoint> RunFullPhyThreadSweep() {
   return sweep;
 }
 
+struct DatasetSweep {
+  std::size_t locations = 0;
+  double cold_generate_ms = 0.0;  // store miss: synthesize + serialize + persist
+  double warm_load_ms = 0.0;      // store hit: load + decode from disk
+  double speedup = 0.0;
+  double encode_ms = 0.0;
+  double decode_ms = 0.0;
+  double file_mb = 0.0;
+};
+
+/// The generate-once/replay-many regression check: a cold DatasetStore miss
+/// (streaming synthesis into serialization and onto disk) vs a warm hit
+/// (load + decode) on the fig9 workload, plus raw codec throughput.
+DatasetSweep RunDatasetSweep(std::size_t locations) {
+  std::cerr << "sweeping dataset store (cold synthesis vs warm load, "
+            << locations << " locations)...\n";
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "bloc-bench-perf-dscache";
+  fs::remove_all(dir);
+  const sim::ScenarioConfig scenario = sim::PaperTestbed(1);
+  sim::DatasetOptions options;
+  options.locations = locations;
+  const std::uint64_t fp = sim::Fingerprint(scenario, options);
+
+  const auto ms_since = [](std::chrono::steady_clock::time_point start) {
+    return 1e3 * std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  };
+
+  DatasetSweep sweep;
+  sweep.locations = locations;
+  sim::Dataset dataset;
+  {
+    sim::DatasetStore store(dir);
+    const auto start = std::chrono::steady_clock::now();
+    dataset = store.GetOrGenerate(scenario, options);
+    sweep.cold_generate_ms = ms_since(start);
+    if (store.misses() != 1) std::cerr << "  warning: expected a cold miss\n";
+  }
+  {
+    sim::DatasetStore store(dir);
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(store.GetOrGenerate(scenario, options));
+    sweep.warm_load_ms = ms_since(start);
+    if (store.hits() != 1) std::cerr << "  warning: expected a warm hit\n";
+  }
+  sweep.speedup = sweep.cold_generate_ms / sweep.warm_load_ms;
+
+  net::Buffer bytes;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    bytes = sim::EncodeDataset(dataset, fp);
+    sweep.encode_ms = ms_since(start);
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sim::DecodeDataset(bytes));
+    sweep.decode_ms = ms_since(start);
+  }
+  sweep.file_mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+  fs::remove_all(dir);
+
+  std::cout << "\n=== dataset store (fig9 workload, " << locations
+            << " locations) ===\n"
+            << "  cold miss (synthesize+serialize+persist)  "
+            << sweep.cold_generate_ms << " ms\n"
+            << "  warm hit (load+decode)                    "
+            << sweep.warm_load_ms << " ms  (x" << sweep.speedup
+            << " speedup)\n"
+            << "  codec: encode " << sweep.encode_ms << " ms, decode "
+            << sweep.decode_ms << " ms, file " << sweep.file_mb << " MB\n";
+  return sweep;
+}
+
 void WriteSweepJson(const std::string& path,
                     const std::vector<SweepPoint>* sweep,
                     const KernelComparison* kernels,
                     const FullPhyComparison* fullphy,
                     const std::vector<SweepPoint>* fullphy_sweep,
+                    const DatasetSweep* dataset,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -405,6 +483,15 @@ void WriteSweepJson(const std::string& path,
         << fullphy->reference_ms_per_round
         << ", \"planned_ms_per_round\": " << fullphy->planned_ms_per_round
         << ", \"speedup\": " << fullphy->speedup << "}";
+  }
+  if (dataset != nullptr) {
+    out << ",\n  \"dataset_store\": {\"locations\": " << dataset->locations
+        << ", \"cold_generate_ms\": " << dataset->cold_generate_ms
+        << ", \"warm_load_ms\": " << dataset->warm_load_ms
+        << ", \"speedup\": " << dataset->speedup
+        << ", \"encode_ms\": " << dataset->encode_ms
+        << ", \"decode_ms\": " << dataset->decode_ms
+        << ", \"file_mb\": " << dataset->file_mb << "}";
   }
   if (fullphy_sweep != nullptr) {
     out << ",\n  \"fullphy_results\": [\n";
@@ -438,8 +525,9 @@ void WriteSweepJson(const std::string& path,
 int main(int argc, char** argv) {
   // Split off our flags; google-benchmark aborts on ones it doesn't know.
   std::string json_path;
-  std::string mode = "all";  // all | localize | fullphy
+  std::string mode = "all";  // all | localize | fullphy | dataset
   std::size_t sweep_rounds = 8;
+  std::size_t dataset_locations = 100;
   bool run_micro = true;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
@@ -448,11 +536,14 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.starts_with("--sweep-rounds=")) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
+    } else if (arg.starts_with("--dataset-locations=")) {
+      dataset_locations = std::stoul(std::string(arg.substr(20)));
     } else if (arg.starts_with("--mode=")) {
       mode = arg.substr(7);
-      if (mode != "all" && mode != "localize" && mode != "fullphy") {
+      if (mode != "all" && mode != "localize" && mode != "fullphy" &&
+          mode != "dataset") {
         std::cerr << "bench_perf: unknown --mode=" << mode
-                  << " (expected all, localize or fullphy)\n";
+                  << " (expected all, localize, fullphy or dataset)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -476,8 +567,10 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   FullPhyComparison fullphy;
   std::vector<SweepPoint> fullphy_sweep;
+  DatasetSweep dataset;
   const bool run_localize = mode == "all" || mode == "localize";
   const bool run_fullphy = mode == "all" || mode == "fullphy";
+  const bool run_dataset = mode == "all" || mode == "dataset";
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -486,11 +579,13 @@ int main(int argc, char** argv) {
     kernels = RunKernelComparison();
     sweep = RunThroughputSweep(sweep_rounds);
   }
+  if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
   if (!json_path.empty()) {
     WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
                    run_localize ? &kernels : nullptr,
                    run_fullphy ? &fullphy : nullptr,
-                   run_fullphy ? &fullphy_sweep : nullptr, sweep_rounds);
+                   run_fullphy ? &fullphy_sweep : nullptr,
+                   run_dataset ? &dataset : nullptr, sweep_rounds);
   }
   return 0;
 }

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "sim/cli.h"
+#include "sim/dataset_io.h"
 #include "sim/experiment.h"
 
 namespace bloc::bench {
@@ -19,9 +22,13 @@ struct BenchSetup {
   std::string csv_path;
   /// Engine worker threads (--threads=N, default hardware_concurrency).
   std::size_t threads = 1;
+  std::string dataset_cache;  // --dataset-cache=DIR
+  std::string save_dataset;   // --save-dataset=PATH (primary dataset)
+  std::string load_dataset;   // --load-dataset=PATH (primary dataset)
 };
 
-/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R --threads=N.
+/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R --threads=N
+/// --dataset-cache=DIR --save-dataset=PATH --load-dataset=PATH.
 inline BenchSetup ParseSetup(int argc, char** argv,
                              std::size_t default_locations = 250) {
   sim::CliArgs args(argc, argv);
@@ -31,19 +38,94 @@ inline BenchSetup ParseSetup(int argc, char** argv,
   setup.options.grid_resolution = args.Double("resolution", 0.075);
   setup.csv_path = args.Str("csv", "");
   setup.threads = args.Threads();
+  // --threads drives dataset synthesis too: the measurement simulator's
+  // per-round fan-out is bit-identical for every thread count.
+  setup.options.measurement_threads = setup.threads;
+  setup.dataset_cache = args.Str("dataset-cache", "");
+  setup.save_dataset = args.Str("save-dataset", "");
+  setup.load_dataset = args.Str("load-dataset", "");
   return setup;
 }
 
-inline sim::Dataset GenerateWithProgress(const BenchSetup& setup) {
-  sim::DatasetOptions options = setup.options;
-  options.progress = [](std::size_t done, std::size_t total) {
-    if (done % 100 == 0 || done == total) {
-      std::cerr << "  measured " << done << "/" << total << " locations\r";
-      if (done == total) std::cerr << "\n";
+/// Shared obtain/evaluate policy for the bench binaries — the paper's
+/// generate-once/replay-many harness (§7):
+///   --load-dataset=PATH  replay a recorded dataset instead of synthesizing
+///   --dataset-cache=DIR  content-addressed store reused across runs and
+///                        across every bench binary with the same scenario
+///   --save-dataset=PATH  persist the primary dataset after obtaining it
+/// Falls back to in-memory generation when no flag is given.
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(BenchSetup setup) : setup_(std::move(setup)) {
+    if (!setup_.dataset_cache.empty()) store_.emplace(setup_.dataset_cache);
+  }
+
+  const BenchSetup& setup() const { return setup_; }
+  sim::DatasetStore* store() { return store_ ? &*store_ : nullptr; }
+
+  /// The bench's primary dataset (lazy; synthesized/loaded on first use).
+  const sim::Dataset& dataset() {
+    if (!primary_) {
+      primary_ = ObtainPrimary();
+      if (!setup_.save_dataset.empty()) {
+        const std::uint64_t fp =
+            sim::Fingerprint(setup_.scenario, setup_.options);
+        sim::SaveDataset(setup_.save_dataset, *primary_, fp);
+        std::cerr << "[dataset] saved " << setup_.save_dataset << "\n";
+      }
     }
-  };
-  return sim::GenerateDataset(setup.scenario, options);
-}
+    return *primary_;
+  }
+
+  /// Same store policy for additional datasets (the ablations build their
+  /// own scenarios); --load/--save apply to the primary dataset only.
+  sim::Dataset Obtain(const sim::ScenarioConfig& scenario,
+                      sim::DatasetOptions options) {
+    AttachProgress(options);
+    if (!store_) return sim::GenerateDataset(scenario, options);
+    const std::uint64_t fp = sim::Fingerprint(scenario, options);
+    const std::size_t hits_before = store_->hits();
+    sim::Dataset dataset = store_->GetOrGenerate(scenario, options);
+    const bool hit = store_->hits() > hits_before;
+    std::cerr << "[dataset] cache " << (hit ? "hit" : "miss") << " fp="
+              << std::hex << fp << std::dec << " ("
+              << dataset.rounds.size() << " rounds) at "
+              << store_->PathFor(fp).string() << "\n";
+    return dataset;
+  }
+
+ private:
+  sim::Dataset ObtainPrimary() {
+    if (!setup_.load_dataset.empty()) {
+      sim::LoadedDataset loaded = sim::LoadDataset(setup_.load_dataset);
+      const std::uint64_t expected =
+          sim::Fingerprint(setup_.scenario, setup_.options);
+      std::cerr << "[dataset] loaded " << setup_.load_dataset << " ("
+                << loaded.dataset.rounds.size() << " rounds)\n";
+      if (loaded.fingerprint != expected) {
+        std::cerr << "[dataset] note: recorded fingerprint " << std::hex
+                  << loaded.fingerprint << " differs from the flags' "
+                  << expected << std::dec
+                  << "; replaying the recorded measurements\n";
+      }
+      return std::move(loaded.dataset);
+    }
+    return Obtain(setup_.scenario, setup_.options);
+  }
+
+  static void AttachProgress(sim::DatasetOptions& options) {
+    options.progress = [](std::size_t done, std::size_t total) {
+      if (done % 100 == 0 || done == total) {
+        std::cerr << "  measured " << done << "/" << total << " locations\r";
+        if (done == total) std::cerr << "\n";
+      }
+    };
+  }
+
+  BenchSetup setup_;
+  std::optional<sim::DatasetStore> store_;
+  std::optional<sim::Dataset> primary_;
+};
 
 inline std::string FmtCm(double metres) {
   return eval::Fmt(metres * 100.0, 1) + " cm";

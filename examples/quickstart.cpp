@@ -1,14 +1,19 @@
 // Quickstart: build the paper's testbed, run a few measurement rounds and
 // localize the tag with BLoc. Rounds go through the staged
-// LocalizationEngine, which spreads the work over --threads workers.
+// LocalizationEngine, which spreads the work over --threads workers. With
+// --dataset-cache=DIR the measurements come from the persistent dataset
+// store: the first run synthesizes and records them, later runs (and the
+// bench binaries, given the same scenario) replay the recorded dataset.
 //
 //   ./quickstart [--locations=5] [--seed=1] [--threads=N]
+//                [--dataset-cache=DIR]
 #include <iostream>
 
 #include "bloc/engine.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "sim/cli.h"
+#include "sim/dataset_io.h"
 #include "sim/experiment.h"
 
 int main(int argc, char** argv) {
@@ -18,13 +23,17 @@ int main(int argc, char** argv) {
   sim::ScenarioConfig scenario = sim::PaperTestbed(args.U64("seed", 1));
   sim::DatasetOptions options;
   options.locations = args.SizeT("locations", 5);
+  const std::string cache_dir = args.Str("dataset-cache", "");
 
   std::cout << "BLoc quickstart: " << options.locations
             << " tag positions in a " << scenario.room_width << " m x "
             << scenario.room_height << " m multipath-rich room, "
             << scenario.anchors.size() << " anchors\n\n";
 
-  const sim::Dataset dataset = sim::GenerateDataset(scenario, options);
+  const sim::Dataset dataset =
+      cache_dir.empty()
+          ? sim::GenerateDataset(scenario, options)
+          : sim::DatasetStore(cache_dir).GetOrGenerate(scenario, options);
   core::LocalizationEngine engine(dataset.deployment,
                                   sim::PaperLocalizerConfig(dataset),
                                   {.threads = args.Threads()});

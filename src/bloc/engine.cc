@@ -7,7 +7,10 @@ LocalizationEngine::LocalizationEngine(Deployment deployment,
                                        EngineOptions options)
     : localizer_(std::move(deployment), std::move(config)),
       pool_(options.threads),
-      workspaces_(pool_.size()) {}
+      workspaces_(pool_.size()) {
+  free_workspaces_.reserve(workspaces_.size());
+  for (LocalizerWorkspace& ws : workspaces_) free_workspaces_.push_back(&ws);
+}
 
 LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
   LocalizerWorkspace& ws = workspaces_[0];
@@ -39,6 +42,32 @@ std::vector<LocationResult> LocalizationEngine::LocateBatch(
     results[i] = localizer_.Locate(rounds[i], workspaces_[slot]);
   });
   return results;
+}
+
+LocalizerWorkspace* LocalizationEngine::AcquireWorkspace() {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  LocalizerWorkspace* ws = free_workspaces_.back();
+  free_workspaces_.pop_back();
+  return ws;
+}
+
+void LocalizationEngine::ReleaseWorkspace(LocalizerWorkspace* ws) {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  free_workspaces_.push_back(ws);
+}
+
+std::future<void> LocalizationEngine::LocateAsync(
+    const net::MeasurementRound& round, LocationResult& out) {
+  return pool_.Submit([this, &round, &out] {
+    LocalizerWorkspace* ws = AcquireWorkspace();
+    try {
+      out = localizer_.Locate(round, *ws);
+    } catch (...) {
+      ReleaseWorkspace(ws);
+      throw;  // rethrown to the caller by the future
+    }
+    ReleaseWorkspace(ws);
+  });
 }
 
 }  // namespace bloc::core

@@ -14,6 +14,8 @@
 // precomputed split-complex kernel allocation-free.
 #pragma once
 
+#include <future>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -40,15 +42,31 @@ class LocalizationEngine {
   std::vector<LocationResult> LocateBatch(
       std::span<const net::MeasurementRound> rounds);
 
+  /// Localizes one round asynchronously on the pool, writing `out` when
+  /// done — the streaming-pipeline primitive: a producer keeps generating
+  /// rounds while earlier ones localize. `round` and `out` must stay alive
+  /// until the returned future resolves; results are bit-identical to
+  /// Locate/LocateBatch. Must not be interleaved with LocateBatch/Locate
+  /// calls (they address the per-slot workspaces directly).
+  std::future<void> LocateAsync(const net::MeasurementRound& round,
+                                LocationResult& out);
+
   std::size_t threads() const { return pool_.size(); }
   const Localizer& localizer() const { return localizer_; }
   /// The steering-plan cache all workers share (stats: builds/lookups).
   SteeringPlanCache& plan_cache() const { return localizer_.plan_cache(); }
 
  private:
+  LocalizerWorkspace* AcquireWorkspace();
+  void ReleaseWorkspace(LocalizerWorkspace* ws);
+
   Localizer localizer_;
   dsp::ThreadPool pool_;
   std::vector<LocalizerWorkspace> workspaces_;  // one per pool slot
+  // Free list for LocateAsync tasks: at most pool_.size() tasks execute
+  // concurrently, so acquisition never fails.
+  std::mutex workspace_mutex_;
+  std::vector<LocalizerWorkspace*> free_workspaces_;
 };
 
 }  // namespace bloc::core

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 namespace bloc::eval {
 
@@ -97,7 +98,6 @@ void WriteCsv(const std::string& path, const std::vector<std::string>& header,
               const std::vector<std::vector<std::string>>& rows) {
   if (path.empty()) return;
   std::ofstream out(path);
-  if (!out) return;
   auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) out << ',';
@@ -107,6 +107,11 @@ void WriteCsv(const std::string& path, const std::vector<std::string>& header,
   };
   write_row(header);
   for (const auto& row : rows) write_row(row);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("WriteCsv: failed to write '" + path +
+                             "' (unwritable path or disk full)");
+  }
 }
 
 }  // namespace bloc::eval

@@ -33,7 +33,10 @@ void PrintTable(std::ostream& os, const std::vector<std::string>& header,
 void PrintHeatmap(std::ostream& os, const dsp::Grid2D& grid,
                   std::size_t max_cols = 72);
 
-/// Writes rows to a CSV file; no-op when `path` is empty.
+/// Writes rows to a CSV file; no-op when `path` is empty. Throws
+/// std::runtime_error when the path cannot be opened or the write fails
+/// (unwritable directory, disk full) — figure CSVs must never go silently
+/// missing.
 void WriteCsv(const std::string& path, const std::vector<std::string>& header,
               const std::vector<std::vector<std::string>>& rows);
 

@@ -5,6 +5,26 @@
 
 namespace bloc::net {
 
+void EncodeMeasurementRound(const MeasurementRound& round, WireWriter& w) {
+  w.U64(round.round_id);
+  w.U32(static_cast<std::uint32_t>(round.reports.size()));
+  for (const anchor::CsiReport& report : round.reports) {
+    EncodeCsiReport(report, w);
+  }
+}
+
+MeasurementRound DecodeMeasurementRound(WireReader& r) {
+  MeasurementRound round;
+  round.round_id = r.U64();
+  const std::uint32_t n = r.U32();
+  if (n > 1024) throw WireError("MeasurementRound: implausible report count");
+  round.reports.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    round.reports.push_back(DecodeCsiReport(r));
+  }
+  return round;
+}
+
 void Collector::OnMessage(const Message& msg) {
   std::unique_lock lock(mutex_);
   if (const auto* hello = std::get_if<AnchorHelloMsg>(&msg)) {

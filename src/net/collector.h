@@ -24,6 +24,12 @@ struct MeasurementRound {
   std::vector<anchor::CsiReport> reports;  // one per anchor, any order
 };
 
+/// Round codec for the dataset file format (sim/dataset_io.h): round id,
+/// report count, then each report through the CsiReport body codec.
+/// Decoding throws WireError on truncated or implausible input.
+void EncodeMeasurementRound(const MeasurementRound& round, WireWriter& w);
+MeasurementRound DecodeMeasurementRound(WireReader& r);
+
 class Collector : public MessageSink {
  public:
   void OnMessage(const Message& msg) override;

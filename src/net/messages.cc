@@ -27,39 +27,10 @@ AnchorHelloMsg DecodeHello(WireReader& r) {
 }
 
 void EncodeBody(const CsiReportMsg& m, WireWriter& w) {
-  const anchor::CsiReport& rep = m.report;
-  w.U32(rep.anchor_id);
-  w.Bool(rep.is_master);
-  w.U64(rep.round_id);
-  w.U32(static_cast<std::uint32_t>(rep.bands.size()));
-  for (const anchor::BandMeasurement& b : rep.bands) {
-    w.U8(b.data_channel);
-    w.F64(b.freq_hz);
-    w.ComplexVector(b.tag_csi);
-    w.ComplexVector(b.master_csi);
-    w.F64(b.rssi_db);
-  }
+  EncodeCsiReport(m.report, w);
 }
 
-CsiReportMsg DecodeReport(WireReader& r) {
-  CsiReportMsg m;
-  m.report.anchor_id = r.U32();
-  m.report.is_master = r.Bool();
-  m.report.round_id = r.U64();
-  const std::uint32_t n = r.U32();
-  if (n > 4096) throw WireError("CsiReport: implausible band count");
-  m.report.bands.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    anchor::BandMeasurement b;
-    b.data_channel = r.U8();
-    b.freq_hz = r.F64();
-    b.tag_csi = r.ComplexVector();
-    b.master_csi = r.ComplexVector();
-    b.rssi_db = r.F64();
-    m.report.bands.push_back(std::move(b));
-  }
-  return m;
-}
+CsiReportMsg DecodeReport(WireReader& r) { return CsiReportMsg{DecodeCsiReport(r)}; }
 
 void EncodeBody(const LocationEstimateMsg& m, WireWriter& w) {
   w.U64(m.round_id);
@@ -86,6 +57,40 @@ MessageType TypeOf(const Message& msg) {
 }
 
 }  // namespace
+
+void EncodeCsiReport(const anchor::CsiReport& report, WireWriter& w) {
+  w.U32(report.anchor_id);
+  w.Bool(report.is_master);
+  w.U64(report.round_id);
+  w.U32(static_cast<std::uint32_t>(report.bands.size()));
+  for (const anchor::BandMeasurement& b : report.bands) {
+    w.U8(b.data_channel);
+    w.F64(b.freq_hz);
+    w.ComplexVector(b.tag_csi);
+    w.ComplexVector(b.master_csi);
+    w.F64(b.rssi_db);
+  }
+}
+
+anchor::CsiReport DecodeCsiReport(WireReader& r) {
+  anchor::CsiReport report;
+  report.anchor_id = r.U32();
+  report.is_master = r.Bool();
+  report.round_id = r.U64();
+  const std::uint32_t n = r.U32();
+  if (n > 4096) throw WireError("CsiReport: implausible band count");
+  report.bands.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    anchor::BandMeasurement b;
+    b.data_channel = r.U8();
+    b.freq_hz = r.F64();
+    b.tag_csi = r.ComplexVector();
+    b.master_csi = r.ComplexVector();
+    b.rssi_db = r.F64();
+    report.bands.push_back(std::move(b));
+  }
+  return report;
+}
 
 Buffer EncodeFrame(const Message& msg) {
   WireWriter body;

@@ -49,6 +49,12 @@ struct LocationEstimateMsg {
 using Message =
     std::variant<AnchorHelloMsg, CsiReportMsg, LocationEstimateMsg>;
 
+/// Body codec for one CsiReport, shared by the kCsiReport frame payload and
+/// the dataset file format (sim/dataset_io.h). Decoding validates length
+/// prefixes and throws WireError on truncated or implausible input.
+void EncodeCsiReport(const anchor::CsiReport& report, WireWriter& w);
+anchor::CsiReport DecodeCsiReport(WireReader& r);
+
 /// Serializes a message into a complete frame.
 Buffer EncodeFrame(const Message& msg);
 

@@ -1,9 +1,12 @@
 #include "sim/experiment.h"
 
+#include <future>
+#include <optional>
 #include <stdexcept>
 
 #include "eval/metrics.h"
 #include "net/transport.h"
+#include "sim/dataset_io.h"
 #include "sim/vicon.h"
 
 namespace bloc::sim {
@@ -19,8 +22,9 @@ dsp::GridSpec RoomGrid(const ScenarioConfig& config, double resolution,
   return spec;
 }
 
-Dataset GenerateDataset(const ScenarioConfig& config,
-                        const DatasetOptions& options) {
+StreamedExperiment StreamExperiment(const ScenarioConfig& config,
+                                    const DatasetOptions& options,
+                                    const StreamSinks& sinks) {
   Testbed testbed(config);
   MeasurementSimulator sim(testbed, options.measurement_threads);
   sim.SetChannelMap(options.channel_map);
@@ -43,12 +47,33 @@ Dataset GenerateDataset(const ScenarioConfig& config,
     transport.Send(hello);
   }
 
-  Dataset dataset;
+  StreamedExperiment out;
+  Dataset& dataset = out.dataset;
   dataset.deployment = testbed.deployment();
   dataset.room_grid = RoomGrid(config, options.grid_resolution);
+  if (sinks.writer != nullptr) {
+    sinks.writer->Begin(dataset.deployment, dataset.room_grid);
+  }
+
+  std::optional<core::LocalizationEngine> engine;
+  std::vector<core::LocationResult> results;
+  std::vector<std::future<void>> pending;
+  if (sinks.evaluate != nullptr) {
+    engine.emplace(dataset.deployment, *sinks.evaluate,
+                   core::EngineOptions{.threads = sinks.eval_threads});
+  }
 
   const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(
       options.locations, 0.3, options.position_seed);
+  // In-flight LocateAsync tasks hold references into these vectors, so
+  // reserve up front: push_back must never reallocate under them.
+  dataset.rounds.reserve(positions.size());
+  dataset.truths.reserve(positions.size());
+  if (engine) {
+    results.resize(positions.size());
+    pending.reserve(positions.size());
+  }
+
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const net::MeasurementRound produced = sim.RunRound(positions[i], i);
     for (const anchor::CsiReport& report : produced.reports) {
@@ -56,13 +81,32 @@ Dataset GenerateDataset(const ScenarioConfig& config,
     }
     auto round = collector.TryGetRound(i);
     if (!round) {
-      throw std::runtime_error("GenerateDataset: round did not complete");
+      throw std::runtime_error("StreamExperiment: round did not complete");
     }
     dataset.rounds.push_back(std::move(*round));
     dataset.truths.push_back(vicon.Measure(positions[i]));
+    const net::MeasurementRound& recorded = dataset.rounds.back();
+    if (sinks.writer != nullptr) {
+      sinks.writer->Append(dataset.truths.back(), recorded);
+    }
+    if (engine) pending.push_back(engine->LocateAsync(recorded, results[i]));
     if (options.progress) options.progress(i + 1, positions.size());
   }
-  return dataset;
+
+  if (engine) {
+    for (std::future<void>& f : pending) f.get();
+    out.bloc_errors.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out.bloc_errors.push_back(
+          eval::LocalizationError(results[i].position, dataset.truths[i]));
+    }
+  }
+  return out;
+}
+
+Dataset GenerateDataset(const ScenarioConfig& config,
+                        const DatasetOptions& options) {
+  return StreamExperiment(config, options).dataset;
 }
 
 std::vector<double> EvaluateBloc(const Dataset& dataset,
@@ -107,14 +151,28 @@ std::vector<double> EvaluateRssi(const Dataset& dataset,
   return errors;
 }
 
-core::LocalizerConfig PaperLocalizerConfig(const Dataset& dataset) {
+namespace {
+
+core::LocalizerConfig PaperLocalizerConfigForGrid(const dsp::GridSpec& grid) {
   core::LocalizerConfig config;
-  config.grid = dataset.room_grid;
+  config.grid = grid;
   config.scoring.a = 0.1;                     // paper §7
   config.scoring.b = 0.05;                    // paper §7
   config.scoring.entropy_window_radius = 3;   // 7x7 circular window
   config.scoring.mode = core::SelectionMode::kBlocScore;
   return config;
+}
+
+}  // namespace
+
+core::LocalizerConfig PaperLocalizerConfig(const Dataset& dataset) {
+  return PaperLocalizerConfigForGrid(dataset.room_grid);
+}
+
+core::LocalizerConfig PaperLocalizerConfig(const ScenarioConfig& config,
+                                           const DatasetOptions& options) {
+  return PaperLocalizerConfigForGrid(
+      RoomGrid(config, options.grid_resolution));
 }
 
 }  // namespace bloc::sim

@@ -108,5 +108,17 @@ TEST(Report, WriteCsvEmptyPathIsNoop) {
   EXPECT_NO_THROW(WriteCsv("", {"a"}, {{"1"}}));
 }
 
+TEST(Report, WriteCsvUnwritablePathThrows) {
+  // Figure CSVs must never go silently missing: an unopenable path (here a
+  // directory that does not exist) has to surface as an error.
+  EXPECT_THROW(
+      WriteCsv("/nonexistent-bloc-dir/out.csv", {"a"}, {{"1"}}),
+      std::runtime_error);
+}
+
+TEST(Report, WriteCsvPathIsADirectoryThrows) {
+  EXPECT_THROW(WriteCsv("/tmp", {"a"}, {{"1"}}), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace bloc::eval
