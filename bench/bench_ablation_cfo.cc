@@ -38,5 +38,6 @@ int main(int argc, char** argv) {
   eval::PrintTable(std::cout, {"CFO std", "median error", "p90"}, rows);
   std::cout << "\n  expected: graceful degradation — the 0/1-run averaging "
                "absorbs small CFO; large CFO inflates the error floor.\n";
+  bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -79,5 +79,6 @@ int main(int argc, char** argv) {
        {"BLoc (no training)", med(bloc_same), med(bloc_moved)}});
   std::cout << "\n  expected: fingerprinting degrades when the environment "
                "changes (would need a re-survey); BLoc is unaffected.\n";
+  bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
   std::cout << "\n  paper operating point: a=0.1, b=0.05. The distance term "
                "does the heavy lifting; the entropy term trims the tail.\n";
   eval::WriteCsv(setup.csv_path, {"a", "b", "median_cm", "p90_cm"}, rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

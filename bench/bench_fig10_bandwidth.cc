@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
                  {"bandwidth_mhz", "channels", "median_cm", "p90_cm",
                   "stddev_cm", "paper_median_cm"},
                  rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

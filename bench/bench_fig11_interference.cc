@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
                "has almost no effect on the median error\n";
   eval::WriteCsv(setup.csv_path, {"case", "channels", "median_cm", "p90_cm"},
                  rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
   std::cout << "\n  paper: BLoc 86 cm (p90 178 cm) vs shortest-distance "
                "195 cm (p90 331 cm) — a ~2x gap\n";
   eval::WriteCsv(setup.csv_path, {"scheme", "median_cm", "p90_cm"}, rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -72,5 +72,6 @@ int main(int argc, char** argv) {
     }
   }
   eval::WriteCsv(setup.csv_path, {"x_m", "y_m", "rmse_m"}, rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

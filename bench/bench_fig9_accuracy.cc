@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
   }
   eval::WriteCsv(setup.csv_path, {"location", "bloc_m", "aoa_m", "rssi_m"},
                  rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

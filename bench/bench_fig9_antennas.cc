@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
                  {"antennas", "bloc_median_cm", "bloc_p90_cm",
                   "aoa_median_cm", "aoa_p90_cm"},
                  rows);
+  bench::FinishObservability(driver.setup());
   return 0;
 }

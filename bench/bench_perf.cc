@@ -10,10 +10,17 @@
 // path vs reference kernels, plus a measurement-thread sweep). Pass
 // --json=PATH to dump everything as machine-readable JSON (the perf
 // trajectory baseline), --sweep-rounds=N to size the batch, --no-micro to
-// skip the google-benchmark section, --mode=localize|fullphy to run one
-// sweep family only.
+// skip the google-benchmark section, --mode=localize|fullphy|dataset|obs to
+// run one sweep family only.
+//
+// The obs sweep measures the metrics substrate itself: fig9 LocateBatch
+// with metric recording enabled vs runtime-disabled. --obs-guard=PCT turns
+// it into a regression gate (exit 1 when enabled costs more than PCT%).
+// --metrics-json=PATH / --trace=PATH export the RunReport and Chrome trace
+// of the whole bench run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -23,11 +30,14 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "bloc/corrected_channel.h"
 #include "dsp/complex_ops.h"
 #include "bloc/engine.h"
 #include "dsp/fft.h"
 #include "net/messages.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phy/csi_extract.h"
 #include "phy/packet.h"
 #include "sim/dataset_io.h"
@@ -455,12 +465,77 @@ DatasetSweep RunDatasetSweep(std::size_t locations) {
   return sweep;
 }
 
+struct ObsOverhead {
+  double enabled_ms_per_round = 0.0;
+  double disabled_ms_per_round = 0.0;
+  double overhead_pct = 0.0;
+};
+
+/// Best-of-`reps` LocateBatch timing (ms/round) under the current metrics
+/// switch; the minimum filters scheduler noise out of a percent-level
+/// comparison.
+double TimeBatchMs(core::LocalizationEngine& engine,
+                   const sim::Dataset& dataset, int reps,
+                   double min_seconds = 0.5) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t rounds_done = 0;
+    double elapsed = 0.0;
+    do {
+      benchmark::DoNotOptimize(engine.LocateBatch(dataset.rounds));
+      rounds_done += dataset.rounds.size();
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    } while (elapsed < min_seconds);
+    const double ms = 1e3 * elapsed / static_cast<double>(rounds_done);
+    best = (r == 0) ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+/// The observability self-check (ISSUE: enabled overhead <= 2% on fig9):
+/// the same engine and workload with metric recording on vs runtime-off.
+ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
+  std::cerr << "measuring metrics-substrate overhead on the fig9 "
+               "workload...\n";
+  sim::DatasetOptions options;
+  options.locations = batch_rounds;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+  core::LocalizationEngine engine(dataset.deployment,
+                                  sim::PaperLocalizerConfig(dataset),
+                                  {.threads = 1});
+  engine.LocateBatch(dataset.rounds);  // warm workspaces and plan caches
+
+  ObsOverhead result;
+  obs::SetMetricsEnabled(true);
+  result.enabled_ms_per_round = TimeBatchMs(engine, dataset, 3);
+  obs::SetMetricsEnabled(false);
+  result.disabled_ms_per_round = TimeBatchMs(engine, dataset, 3);
+  obs::SetMetricsEnabled(true);
+  result.overhead_pct = 100.0 *
+                        (result.enabled_ms_per_round -
+                         result.disabled_ms_per_round) /
+                        result.disabled_ms_per_round;
+
+  std::cout << "\n=== observability overhead (fig9 workload, 1 thread) ===\n"
+            << "  metrics enabled   " << result.enabled_ms_per_round
+            << " ms/round\n"
+            << "  metrics disabled  " << result.disabled_ms_per_round
+            << " ms/round\n"
+            << "  overhead          " << result.overhead_pct << " %\n";
+  return result;
+}
+
 void WriteSweepJson(const std::string& path,
                     const std::vector<SweepPoint>* sweep,
                     const KernelComparison* kernels,
                     const FullPhyComparison* fullphy,
                     const std::vector<SweepPoint>* fullphy_sweep,
                     const DatasetSweep* dataset,
+                    const ObsOverhead* obs_overhead,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -483,6 +558,13 @@ void WriteSweepJson(const std::string& path,
         << fullphy->reference_ms_per_round
         << ", \"planned_ms_per_round\": " << fullphy->planned_ms_per_round
         << ", \"speedup\": " << fullphy->speedup << "}";
+  }
+  if (obs_overhead != nullptr) {
+    out << ",\n  \"observability\": {\"enabled_ms_per_round\": "
+        << obs_overhead->enabled_ms_per_round
+        << ", \"disabled_ms_per_round\": "
+        << obs_overhead->disabled_ms_per_round
+        << ", \"overhead_pct\": " << obs_overhead->overhead_pct << "}";
   }
   if (dataset != nullptr) {
     out << ",\n  \"dataset_store\": {\"locations\": " << dataset->locations
@@ -525,15 +607,24 @@ void WriteSweepJson(const std::string& path,
 int main(int argc, char** argv) {
   // Split off our flags; google-benchmark aborts on ones it doesn't know.
   std::string json_path;
-  std::string mode = "all";  // all | localize | fullphy | dataset
+  std::string metrics_json;
+  std::string trace_path;
+  std::string mode = "all";  // all | localize | fullphy | dataset | obs
   std::size_t sweep_rounds = 8;
   std::size_t dataset_locations = 100;
+  double obs_guard_pct = -1.0;  // <0: report only, no gate
   bool run_micro = true;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.starts_with("--json=")) {
       json_path = arg.substr(7);
+    } else if (arg.starts_with("--metrics-json=")) {
+      metrics_json = arg.substr(15);
+    } else if (arg.starts_with("--trace=")) {
+      trace_path = arg.substr(8);
+    } else if (arg.starts_with("--obs-guard=")) {
+      obs_guard_pct = std::stod(std::string(arg.substr(12)));
     } else if (arg.starts_with("--sweep-rounds=")) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
     } else if (arg.starts_with("--dataset-locations=")) {
@@ -541,9 +632,9 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--mode=")) {
       mode = arg.substr(7);
       if (mode != "all" && mode != "localize" && mode != "fullphy" &&
-          mode != "dataset") {
+          mode != "dataset" && mode != "obs") {
         std::cerr << "bench_perf: unknown --mode=" << mode
-                  << " (expected all, localize, fullphy or dataset)\n";
+                  << " (expected all, localize, fullphy, dataset or obs)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -552,6 +643,7 @@ int main(int argc, char** argv) {
       bench_argv.push_back(argv[i]);
     }
   }
+  if (!trace_path.empty()) bloc::obs::SetTracingEnabled(true);
   if (run_micro) {
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
@@ -568,9 +660,11 @@ int main(int argc, char** argv) {
   FullPhyComparison fullphy;
   std::vector<SweepPoint> fullphy_sweep;
   DatasetSweep dataset;
+  ObsOverhead obs_overhead;
   const bool run_localize = mode == "all" || mode == "localize";
   const bool run_fullphy = mode == "all" || mode == "fullphy";
   const bool run_dataset = mode == "all" || mode == "dataset";
+  const bool run_obs = mode == "all" || mode == "obs";
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -580,12 +674,22 @@ int main(int argc, char** argv) {
     sweep = RunThroughputSweep(sweep_rounds);
   }
   if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
+  if (run_obs) obs_overhead = RunObsOverheadCheck(sweep_rounds);
   if (!json_path.empty()) {
     WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
                    run_localize ? &kernels : nullptr,
                    run_fullphy ? &fullphy : nullptr,
                    run_fullphy ? &fullphy_sweep : nullptr,
-                   run_dataset ? &dataset : nullptr, sweep_rounds);
+                   run_dataset ? &dataset : nullptr,
+                   run_obs ? &obs_overhead : nullptr, sweep_rounds);
+  }
+  bloc::bench::FinishObservability(metrics_json, trace_path);
+  if (run_obs && obs_guard_pct >= 0.0 &&
+      obs_overhead.overhead_pct > obs_guard_pct) {
+    std::cerr << "bench_perf: observability overhead "
+              << obs_overhead.overhead_pct << "% exceeds the --obs-guard="
+              << obs_guard_pct << "% budget\n";
+    return 1;
   }
   return 0;
 }

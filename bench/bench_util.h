@@ -10,6 +10,8 @@
 
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/cli.h"
 #include "sim/dataset_io.h"
 #include "sim/experiment.h"
@@ -25,10 +27,13 @@ struct BenchSetup {
   std::string dataset_cache;  // --dataset-cache=DIR
   std::string save_dataset;   // --save-dataset=PATH (primary dataset)
   std::string load_dataset;   // --load-dataset=PATH (primary dataset)
+  std::string metrics_json;   // --metrics-json=PATH (RunReport JSON at exit)
+  std::string trace_path;     // --trace=PATH (Chrome trace JSON at exit)
 };
 
 /// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R --threads=N
-/// --dataset-cache=DIR --save-dataset=PATH --load-dataset=PATH.
+/// --dataset-cache=DIR --save-dataset=PATH --load-dataset=PATH
+/// --metrics-json=PATH --trace=PATH.
 inline BenchSetup ParseSetup(int argc, char** argv,
                              std::size_t default_locations = 250) {
   sim::CliArgs args(argc, argv);
@@ -44,7 +49,32 @@ inline BenchSetup ParseSetup(int argc, char** argv,
   setup.dataset_cache = args.Str("dataset-cache", "");
   setup.save_dataset = args.Str("save-dataset", "");
   setup.load_dataset = args.Str("load-dataset", "");
+  setup.metrics_json = args.Str("metrics-json", "");
+  setup.trace_path = args.Str("trace", "");
+  // Tracing defaults to off; asking for a trace file is the opt-in.
+  if (!setup.trace_path.empty()) obs::SetTracingEnabled(true);
   return setup;
+}
+
+/// Exports the observability artifacts the flags asked for. Call once at the
+/// end of main, after the workload (DESIGN.md §5d).
+inline void FinishObservability(const std::string& metrics_json,
+                                const std::string& trace_path) {
+  if (!metrics_json.empty()) {
+    if (obs::RunReport::Capture().WriteJsonFile(metrics_json)) {
+      std::cerr << "[obs] wrote metrics " << metrics_json << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    if (obs::WriteChromeTraceFile(trace_path)) {
+      std::cerr << "[obs] wrote trace " << trace_path << " ("
+                << obs::TraceDroppedEvents() << " events dropped)\n";
+    }
+  }
+}
+
+inline void FinishObservability(const BenchSetup& setup) {
+  FinishObservability(setup.metrics_json, setup.trace_path);
 }
 
 /// Shared obtain/evaluate policy for the bench binaries — the paper's

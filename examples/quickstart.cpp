@@ -12,6 +12,7 @@
 #include "bloc/engine.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/report.h"
 #include "sim/cli.h"
 #include "sim/dataset_io.h"
 #include "sim/experiment.h"
@@ -60,5 +61,9 @@ int main(int argc, char** argv) {
   const eval::ErrorStats stats = eval::ComputeStats(errors);
   std::cout << "\nmedian error: " << eval::Fmt(stats.median, 3)
             << " m, p90: " << eval::Fmt(stats.p90, 3) << " m\n";
+
+  // Where the time went: the pipeline's own metrics (DESIGN.md §5d).
+  std::cout << "\n";
+  obs::RunReport::Capture().PrintTable(std::cout);
   return 0;
 }

@@ -1,6 +1,33 @@
 #include "bloc/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bloc::core {
+
+namespace {
+
+/// Same registry entries as the serial path in localizer.cc — the registry
+/// deduplicates by name, so both paths feed one set of stage histograms.
+struct EngineMetrics {
+  obs::Counter& rounds = obs::GetCounter("bloc.localizer.rounds");
+  obs::Counter& empty_rounds = obs::GetCounter("bloc.localizer.empty_rounds");
+  obs::Histogram& filter_us = obs::GetHistogram("bloc.localizer.filter_us");
+  obs::Histogram& correct_us = obs::GetHistogram("bloc.localizer.correct_us");
+  obs::Histogram& anchor_map_us =
+      obs::GetHistogram("bloc.localizer.anchor_map_us");
+  obs::Histogram& fuse_us = obs::GetHistogram("bloc.localizer.fuse_us");
+  obs::Histogram& score_us = obs::GetHistogram("bloc.localizer.score_us");
+  obs::Counter& batches = obs::GetCounter("bloc.engine.batches");
+  obs::Histogram& batch_us = obs::GetHistogram("bloc.engine.batch_us");
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 LocalizationEngine::LocalizationEngine(Deployment deployment,
                                        LocalizerConfig config,
@@ -13,15 +40,32 @@ LocalizationEngine::LocalizationEngine(Deployment deployment,
 }
 
 LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  obs::TraceSpan round_span("localize.round", "bloc", round.round_id);
+  metrics.rounds.Inc();
   LocalizerWorkspace& ws = workspaces_[0];
-  if (!localizer_.FilterInto(round, ws.view)) return LocationResult{};
-  localizer_.CorrectInto(ws.view, ws.corrected);
-  localizer_.FuseOrder(ws.corrected, ws.fuse_order);
+  {
+    obs::TraceSpan span("localize.filter", "bloc");
+    obs::ScopedTimer timer(metrics.filter_us);
+    if (!localizer_.FilterInto(round, ws.view)) {
+      metrics.empty_rounds.Inc();
+      return LocationResult{};
+    }
+  }
+  {
+    obs::TraceSpan span("localize.correct", "bloc");
+    obs::ScopedTimer timer(metrics.correct_us);
+    localizer_.CorrectInto(ws.view, ws.corrected);
+    localizer_.FuseOrder(ws.corrected, ws.fuse_order);
+  }
 
   const std::size_t n = ws.fuse_order.size();
   if (ws.anchor_maps.size() < n) ws.anchor_maps.resize(n);
   if (ws.spectra.size() < n) ws.spectra.resize(n);
   pool_.ParallelFor(n, [&](std::size_t i, std::size_t) {
+    obs::TraceSpan span("localize.anchor_map", "bloc",
+                        ws.corrected.anchors[ws.fuse_order[i]].anchor_id);
+    obs::ScopedTimer timer(metrics.anchor_map_us);
     localizer_.AnchorMapInto(ws.corrected, ws.fuse_order[i],
                              ws.anchor_maps[i], ws.spectra[i]);
   });
@@ -31,12 +75,22 @@ LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
   // bit-identity guarantee with the serial path.
   dsp::Grid2D& fused = ws.EnsureFused();
   fused.Reset(localizer_.config().grid);
-  for (std::size_t i = 0; i < n; ++i) fused.Add(ws.anchor_maps[i]);
+  {
+    obs::TraceSpan span("localize.fuse", "bloc");
+    obs::ScopedTimer timer(metrics.fuse_us);
+    for (std::size_t i = 0; i < n; ++i) fused.Add(ws.anchor_maps[i]);
+  }
+  obs::TraceSpan span("localize.score", "bloc");
+  obs::ScopedTimer timer(metrics.score_us);
   return localizer_.ScoreFused(ws.fused, ws.corrected);
 }
 
 std::vector<LocationResult> LocalizationEngine::LocateBatch(
     std::span<const net::MeasurementRound> rounds) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  obs::TraceSpan batch_span("localize.batch", "bloc", rounds.size());
+  obs::ScopedTimer batch_timer(metrics.batch_us);
+  metrics.batches.Inc();
   std::vector<LocationResult> results(rounds.size());
   pool_.ParallelFor(rounds.size(), [&](std::size_t i, std::size_t slot) {
     results[i] = localizer_.Locate(rounds[i], workspaces_[slot]);

@@ -4,7 +4,32 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bloc::core {
+
+namespace {
+
+/// Registry handles for the localization stages, resolved once per process
+/// (DESIGN.md §5d). Shared by the serial path and the engine.
+struct LocalizerMetrics {
+  obs::Counter& rounds = obs::GetCounter("bloc.localizer.rounds");
+  obs::Counter& empty_rounds = obs::GetCounter("bloc.localizer.empty_rounds");
+  obs::Histogram& filter_us = obs::GetHistogram("bloc.localizer.filter_us");
+  obs::Histogram& correct_us = obs::GetHistogram("bloc.localizer.correct_us");
+  obs::Histogram& anchor_map_us =
+      obs::GetHistogram("bloc.localizer.anchor_map_us");
+  obs::Histogram& fuse_us = obs::GetHistogram("bloc.localizer.fuse_us");
+  obs::Histogram& score_us = obs::GetHistogram("bloc.localizer.score_us");
+
+  static const LocalizerMetrics& Get() {
+    static const LocalizerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Localizer::Localizer(Deployment deployment, LocalizerConfig config)
     : deployment_(std::move(deployment)),
@@ -147,17 +172,45 @@ dsp::Grid2D Localizer::FusedMap(const CorrectedChannels& corrected) const {
 
 LocationResult Localizer::Locate(const net::MeasurementRound& round,
                                  LocalizerWorkspace& ws) const {
-  if (!FilterInto(round, ws.view)) return LocationResult{};
-  CorrectInto(ws.view, ws.corrected);
-  FuseOrder(ws.corrected, ws.fuse_order);
+  const LocalizerMetrics& metrics = LocalizerMetrics::Get();
+  obs::TraceSpan round_span("localize.round", "bloc", round.round_id);
+  metrics.rounds.Inc();
+  {
+    obs::TraceSpan span("localize.filter", "bloc");
+    obs::ScopedTimer timer(metrics.filter_us);
+    if (!FilterInto(round, ws.view)) {
+      metrics.empty_rounds.Inc();
+      return LocationResult{};
+    }
+  }
+  {
+    obs::TraceSpan span("localize.correct", "bloc");
+    obs::ScopedTimer timer(metrics.correct_us);
+    CorrectInto(ws.view, ws.corrected);
+    FuseOrder(ws.corrected, ws.fuse_order);
+  }
   if (ws.anchor_maps.empty()) ws.anchor_maps.resize(1);
   if (ws.spectra.empty()) ws.spectra.resize(1);
   dsp::Grid2D& fused = ws.EnsureFused();
   fused.Reset(config_.grid);
+  // The serial loop interleaves map computation and fusion, so the fuse
+  // stage is timed by accumulation rather than one contiguous span.
+  std::uint64_t fuse_ns = 0;
+  const bool metrics_on = obs::MetricsEnabled();
   for (std::size_t idx : ws.fuse_order) {
-    AnchorMapInto(ws.corrected, idx, ws.anchor_maps[0], ws.spectra[0]);
+    {
+      obs::TraceSpan span("localize.anchor_map", "bloc",
+                          ws.corrected.anchors[idx].anchor_id);
+      obs::ScopedTimer timer(metrics.anchor_map_us);
+      AnchorMapInto(ws.corrected, idx, ws.anchor_maps[0], ws.spectra[0]);
+    }
+    const std::uint64_t t0 = metrics_on ? obs::NowNs() : 0;
     fused.Add(ws.anchor_maps[0]);
+    if (metrics_on) fuse_ns += obs::NowNs() - t0;
   }
+  if (metrics_on) metrics.fuse_us.Record(fuse_ns / 1000);
+  obs::TraceSpan span("localize.score", "bloc");
+  obs::ScopedTimer timer(metrics.score_us);
   return ScoreFused(ws.fused, ws.corrected);
 }
 

@@ -81,14 +81,20 @@ SteeringPlan::SteeringPlan(SteeringPlanKey key) : key_(std::move(key)) {
   }
 }
 
+SteeringPlanCache::SteeringPlanCache()
+    : builds_metric_(obs::GetCounter("bloc.steering_plan_cache.builds")),
+      lookups_metric_(obs::GetCounter("bloc.steering_plan_cache.lookups")) {}
+
 std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
     const SteeringPlanKey& key) {
+  lookups_metric_.Inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++lookups_;
   for (const auto& plan : plans_) {
     if (plan->key() == key) return plan;
   }
   ++builds_;
+  builds_metric_.Inc();
   plans_.push_back(std::make_shared<const SteeringPlan>(key));
   return plans_.back();
 }
@@ -120,6 +126,7 @@ std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
   }
   const double comb_f0 = input.band_freqs_hz.front();
   const std::size_t antennas = detail::EffectiveAntennas(input);
+  lookups_metric_.Inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++lookups_;
@@ -129,6 +136,7 @@ std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
       }
     }
     ++builds_;
+    builds_metric_.Inc();
     plans_.push_back(std::make_shared<const SteeringPlan>(
         MakeSteeringPlanKey(input, spec, comb_step)));
     return plans_.back();

@@ -21,6 +21,7 @@
 #include "dsp/aligned.h"
 #include "dsp/grid2d.h"
 #include "geom/vec2.h"
+#include "obs/metrics.h"
 
 namespace bloc::core {
 
@@ -83,6 +84,8 @@ class SteeringPlan {
 /// cache per Localizer / LocalizationEngine serves every worker thread.
 class SteeringPlanCache {
  public:
+  SteeringPlanCache();
+
   std::shared_ptr<const SteeringPlan> GetOrBuild(const SteeringPlanKey& key);
 
   /// Allocation-free on the hit path: compares `input`/`spec` against the
@@ -93,8 +96,11 @@ class SteeringPlanCache {
 
   /// Number of plans built so far (== distinct keys seen). The amortization
   /// tests assert this stops growing after the first round.
+  /// Deprecated: thin wrapper over per-instance state kept for existing
+  /// callers; new code should read the `bloc.steering_plan_cache.*`
+  /// registry counters (obs/metrics.h) instead.
   std::size_t builds() const;
-  /// Total lookups (hits + builds).
+  /// Total lookups (hits + builds). Deprecated: see builds().
   std::size_t lookups() const;
 
  private:
@@ -102,6 +108,8 @@ class SteeringPlanCache {
   std::vector<std::shared_ptr<const SteeringPlan>> plans_;
   std::size_t builds_ = 0;
   std::size_t lookups_ = 0;
+  obs::Counter& builds_metric_;
+  obs::Counter& lookups_metric_;
 };
 
 /// Steering-plan variant of JointLikelihoodMapInto (spectra.h): identical

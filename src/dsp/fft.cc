@@ -119,7 +119,12 @@ void FftPlan::Run(std::span<cplx> data, bool inverse) const {
   }
 }
 
+FftPlanCache::FftPlanCache()
+    : builds_metric_(obs::GetCounter("dsp.fft_plan_cache.builds")),
+      lookups_metric_(obs::GetCounter("dsp.fft_plan_cache.lookups")) {}
+
 std::shared_ptr<const FftPlan> FftPlanCache::GetOrBuild(std::size_t n) {
+  lookups_metric_.Inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++lookups_;
   for (const auto& plan : plans_) {
@@ -128,6 +133,7 @@ std::shared_ptr<const FftPlan> FftPlanCache::GetOrBuild(std::size_t n) {
   auto plan = std::make_shared<const FftPlan>(n);
   plans_.push_back(plan);
   ++builds_;
+  builds_metric_.Inc();
   return plan;
 }
 

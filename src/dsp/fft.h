@@ -18,6 +18,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "obs/metrics.h"
 
 namespace bloc::dsp {
 
@@ -60,14 +61,21 @@ class FftPlan {
 /// Thread-safe keyed cache of FFT plans (key = transform size). Plans are
 /// built at most once per size under the mutex and handed out as
 /// shared_ptr<const>, so readers never synchronize after the build.
+/// Every instance also feeds the registry counters
+/// `dsp.fft_plan_cache.builds` / `.lookups` (DESIGN.md §5d).
 class FftPlanCache {
  public:
+  FftPlanCache();
+
   std::shared_ptr<const FftPlan> GetOrBuild(std::size_t n);
 
   /// Number of plans built (== distinct sizes seen). The amortization tests
   /// assert this stops growing after warm-up.
+  /// Deprecated: thin wrapper over per-instance state kept for existing
+  /// callers; new code should read the `dsp.fft_plan_cache.*` registry
+  /// counters (obs/metrics.h) instead.
   std::size_t builds() const;
-  /// Total lookups (hits + builds).
+  /// Total lookups (hits + builds). Deprecated: see builds().
   std::size_t lookups() const;
 
  private:
@@ -75,6 +83,8 @@ class FftPlanCache {
   std::vector<std::shared_ptr<const FftPlan>> plans_;
   std::size_t builds_ = 0;
   std::size_t lookups_ = 0;
+  obs::Counter& builds_metric_;
+  obs::Counter& lookups_metric_;
 };
 
 /// Filters `x` through the transfer function `h_of_f` (baseband frequency in

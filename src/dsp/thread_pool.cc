@@ -1,12 +1,17 @@
 #include "dsp/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cassert>
 #include <exception>
 
 namespace bloc::dsp {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : submitted_metric_(obs::GetCounter("dsp.thread_pool.submitted")),
+      completed_metric_(obs::GetCounter("dsp.thread_pool.completed")),
+      queue_depth_metric_(obs::GetGauge("dsp.thread_pool.queue_depth")),
+      task_latency_metric_(
+          obs::GetHistogram("dsp.thread_pool.task_latency_us")) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -25,11 +30,39 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // The queue drains before workers exit, so shutdown can never drop an
+  // accepted task. Guard that invariant: a failure here means a scheduling
+  // bug silently lost work.
+  assert(tasks_submitted_.load(std::memory_order_relaxed) ==
+         tasks_completed_.load(std::memory_order_relaxed));
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::RunTask(QueuedTask& task) const {
+  // Completion is accounted even when the task throws (inline ParallelFor
+  // rethrows to the caller): an accepted task that ran is not dropped work.
+  struct Accounting {
+    const ThreadPool* pool;
+    const QueuedTask* task;
+    ~Accounting() {
+      pool->tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+      pool->completed_metric_.Inc();
+      if (task->enqueue_ns != 0) {
+        pool->task_latency_metric_.Record(
+            (obs::NowNs() - task->enqueue_ns) / 1000);
+      }
+    }
+  } accounting{this, &task};
+  task.fn();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -37,15 +70,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_metric_.Sub(1);
+    RunTask(task);
   }
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) const {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_metric_.Inc();
+  QueuedTask queued{std::move(task),
+                   obs::MetricsEnabled() ? obs::NowNs() : 0};
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
+  queue_depth_metric_.Add(1);
   cv_.notify_one();
 }
 
@@ -54,7 +93,12 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
   if (workers_.empty()) {
-    (*packaged)();  // size 1: run inline
+    // size 1: run inline, but keep the books identical to the queued path.
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_metric_.Inc();
+    QueuedTask inline_task{[packaged] { (*packaged)(); },
+                           obs::MetricsEnabled() ? obs::NowNs() : 0};
+    RunTask(inline_task);
   } else {
     Enqueue([packaged] { (*packaged)(); });
   }
@@ -66,7 +110,11 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_metric_.Inc();
+    QueuedTask inline_task{[&] { for (std::size_t i = 0; i < n; ++i) fn(i, 0); },
+                           obs::MetricsEnabled() ? obs::NowNs() : 0};
+    RunTask(inline_task);
     return;
   }
 

@@ -2,16 +2,27 @@
 // a mutex-guarded task queue, no external dependencies. A pool of size 1
 // owns no threads at all: Submit and ParallelFor run inline on the calling
 // thread, so single-threaded users pay zero scheduling overhead.
+//
+// Observability (DESIGN.md §5d): every pool shares the registry metrics
+//   dsp.thread_pool.submitted / completed  (counters)
+//   dsp.thread_pool.queue_depth            (gauge, with high-watermark)
+//   dsp.thread_pool.task_latency_us        (histogram, enqueue->completion)
+// and each instance tracks its own submitted/completed pair so the
+// destructor can assert that shutdown dropped no work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace bloc::dsp {
 
@@ -20,7 +31,9 @@ class ThreadPool {
   /// `num_threads == 0` means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains already-submitted tasks, then joins the workers.
+  /// Drains already-submitted tasks, then joins the workers. Asserts that
+  /// every accepted task ran (the queue design cannot drop work; the
+  /// assertion keeps it that way).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -42,16 +55,43 @@ class ThreadPool {
                    const std::function<void(std::size_t index,
                                             std::size_t slot)>& fn) const;
 
+  /// Lifetime totals for this pool (inline-mode executions included).
+  /// completed may momentarily lag submitted while a worker is between
+  /// signalling its caller and retiring the task; after the destructor
+  /// joins the workers the two are exactly equal (asserted there).
+  std::uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently waiting in this pool's queue.
+  std::size_t queue_depth() const;
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
   void Enqueue(std::function<void()> task) const;
+  void RunTask(QueuedTask& task) const;
 
   std::size_t size_ = 1;
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
-  mutable std::deque<std::function<void()>> queue_;
+  mutable std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  mutable std::atomic<std::uint64_t> tasks_submitted_{0};
+  mutable std::atomic<std::uint64_t> tasks_completed_{0};
+  // Registry handles, resolved once per pool.
+  obs::Counter& submitted_metric_;
+  obs::Counter& completed_metric_;
+  obs::Gauge& queue_depth_metric_;
+  obs::Histogram& task_latency_metric_;
 };
 
 }  // namespace bloc::dsp

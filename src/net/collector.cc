@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace bloc::net {
+
+namespace {
+
+/// Registry handles for the ingest path, resolved once per process.
+struct CollectorMetrics {
+  obs::Counter& hello_msgs = obs::GetCounter("net.collector.hello_msgs");
+  obs::Counter& csi_reports = obs::GetCounter("net.collector.csi_reports");
+  obs::Counter& dropped_duplicates =
+      obs::GetCounter("net.collector.dropped_duplicates");
+
+  static const CollectorMetrics& Get() {
+    static const CollectorMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 void EncodeMeasurementRound(const MeasurementRound& round, WireWriter& w) {
   w.U64(round.round_id);
@@ -26,13 +45,16 @@ MeasurementRound DecodeMeasurementRound(WireReader& r) {
 }
 
 void Collector::OnMessage(const Message& msg) {
+  const CollectorMetrics& metrics = CollectorMetrics::Get();
   std::unique_lock lock(mutex_);
   if (const auto* hello = std::get_if<AnchorHelloMsg>(&msg)) {
+    metrics.hello_msgs.Inc();
     anchors_[hello->anchor_id] = AnchorInfo{*hello};
     cv_.notify_all();
     return;
   }
   if (const auto* report_msg = std::get_if<CsiReportMsg>(&msg)) {
+    metrics.csi_reports.Inc();
     auto& round = rounds_[report_msg->report.round_id];
     const auto dup = std::find_if(
         round.begin(), round.end(), [&](const anchor::CsiReport& r) {
@@ -40,6 +62,7 @@ void Collector::OnMessage(const Message& msg) {
         });
     if (dup != round.end()) {
       ++dropped_duplicates_;
+      metrics.dropped_duplicates.Inc();
       return;
     }
     round.push_back(report_msg->report);

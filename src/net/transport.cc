@@ -11,9 +11,22 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/metrics.h"
+
 namespace bloc::net {
 
 namespace {
+
+/// Shared by both transports: frames look identical on the wire either way.
+struct TransportMetrics {
+  obs::Counter& frames_sent = obs::GetCounter("net.transport.frames_sent");
+  obs::Counter& bytes_sent = obs::GetCounter("net.transport.bytes_sent");
+
+  static const TransportMetrics& Get() {
+    static const TransportMetrics metrics;
+    return metrics;
+  }
+};
 
 [[noreturn]] void ThrowErrno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
@@ -36,6 +49,9 @@ void SendAll(int fd, const Buffer& data) {
 
 void InProcTransport::Send(const Message& msg) {
   const Buffer frame = EncodeFrame(msg);
+  const TransportMetrics& metrics = TransportMetrics::Get();
+  metrics.frames_sent.Inc();
+  metrics.bytes_sent.Inc(frame.size());
   for (Message& decoded : parser_.Feed(frame)) {
     sink_.OnMessage(decoded);
   }
@@ -156,7 +172,11 @@ TcpTransport::~TcpTransport() {
 }
 
 void TcpTransport::Send(const Message& msg) {
-  SendAll(fd_, EncodeFrame(msg));
+  const Buffer frame = EncodeFrame(msg);
+  const TransportMetrics& metrics = TransportMetrics::Get();
+  metrics.frames_sent.Inc();
+  metrics.bytes_sent.Inc(frame.size());
+  SendAll(fd_, frame);
 }
 
 }  // namespace bloc::net

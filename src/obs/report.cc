@@ -1,0 +1,142 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace bloc::obs {
+
+namespace {
+
+void EscapeJsonString(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+std::string FmtDouble(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v;
+  return os.str();
+}
+
+/// Minimal aligned table (obs sits below eval, so it brings its own).
+void PrintAligned(std::ostream& os, const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace
+
+RunReport RunReport::Capture() {
+  RunReport report;
+  report.metrics = MetricsRegistry::Global().Snapshot();
+  return report;
+}
+
+void RunReport::WriteJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    const CounterSnapshot& c = metrics.counters[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    EscapeJsonString(os, c.name);
+    os << "\": " << c.value;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+    const GaugeSnapshot& g = metrics.gauges[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    EscapeJsonString(os, g.name);
+    os << "\": {\"value\": " << g.value << ", \"max\": " << g.max << "}";
+  }
+  os << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const HistogramSnapshot& h = metrics.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    EscapeJsonString(os, h.name);
+    os << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"max\": " << h.max << ", \"p50\": " << h.p50
+       << ", \"p95\": " << h.p95 << ", \"p99\": " << h.p99 << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+bool RunReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (out) WriteJson(out);
+  if (!out) {
+    std::cerr << "obs: cannot write metrics report to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+void RunReport::PrintTable(std::ostream& os) const {
+  os << "=== run report ===\n";
+  if (!metrics.counters.empty()) {
+    os << "counters:\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const CounterSnapshot& c : metrics.counters) {
+      if (c.value == 0) continue;  // registered but untouched: noise
+      rows.push_back({c.name, std::to_string(c.value)});
+    }
+    PrintAligned(os, {"name", "value"}, rows);
+  }
+  if (!metrics.gauges.empty()) {
+    os << "gauges:\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const GaugeSnapshot& g : metrics.gauges) {
+      rows.push_back(
+          {g.name, std::to_string(g.value), std::to_string(g.max)});
+    }
+    PrintAligned(os, {"name", "value", "max"}, rows);
+  }
+  if (!metrics.histograms.empty()) {
+    os << "histograms:\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const HistogramSnapshot& h : metrics.histograms) {
+      if (h.count == 0) continue;
+      rows.push_back({h.name, std::to_string(h.count), FmtDouble(h.p50),
+                      FmtDouble(h.p95), FmtDouble(h.p99),
+                      std::to_string(h.max)});
+    }
+    PrintAligned(os, {"name", "count", "p50", "p95", "p99", "max"}, rows);
+  }
+}
+
+}  // namespace bloc::obs

@@ -1,0 +1,30 @@
+// RunReport (DESIGN.md §5d): one end-of-run snapshot of every registered
+// metric, exportable as JSON (machine baseline, --metrics-json=PATH) or a
+// human-readable table (quickstart prints this at exit).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bloc::obs {
+
+struct RunReport {
+  MetricsSnapshot metrics;
+
+  /// Snapshot of the global registry right now.
+  static RunReport Capture();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// stable (sorted) key order.
+  void WriteJson(std::ostream& os) const;
+  /// File variant; returns false (after logging to stderr) on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Aligned three-section table. Histograms print count / p50 / p95 /
+  /// p99 / max in their recorded unit (the `_us`/`_bytes` name suffix).
+  void PrintTable(std::ostream& os) const;
+};
+
+}  // namespace bloc::obs

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "net/collector.h"
+#include "obs/metrics.h"
 
 namespace bloc::sim {
 
@@ -336,11 +337,14 @@ Dataset DatasetStore::GetOrGenerate(const ScenarioConfig& config,
                                     const DatasetOptions& options) {
   const std::uint64_t fingerprint = Fingerprint(config, options);
   const std::filesystem::path path = PathFor(fingerprint);
+  bool entry_existed = false;
   if (std::filesystem::exists(path)) {
+    entry_existed = true;
     try {
       LoadedDataset loaded = LoadDataset(path);
       if (loaded.fingerprint == fingerprint) {
         ++hits_;
+        obs::GetCounter("sim.dataset_store.hits").Inc();
         return std::move(loaded.dataset);
       }
       // Embedded fingerprint disagrees with the requested configuration
@@ -350,6 +354,11 @@ Dataset DatasetStore::GetOrGenerate(const ScenarioConfig& config,
     }
   }
   ++misses_;
+  obs::GetCounter("sim.dataset_store.misses").Inc();
+  if (entry_existed) {
+    ++stale_;
+    obs::GetCounter("sim.dataset_store.stale").Inc();
+  }
   DatasetWriter writer(fingerprint);
   StreamSinks sinks;
   sinks.writer = &writer;

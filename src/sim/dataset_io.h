@@ -107,13 +107,20 @@ class DatasetStore {
 
   std::filesystem::path PathFor(std::uint64_t fingerprint) const;
   const std::filesystem::path& directory() const { return dir_; }
+  /// Deprecated: thin wrappers over per-instance state kept for existing
+  /// callers; new code should read the `sim.dataset_store.*` registry
+  /// counters (obs/metrics.h) instead.
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
+  /// Misses caused by an existing-but-unusable cache entry (corrupt,
+  /// truncated or fingerprint-mismatched). Always <= misses().
+  std::size_t stale() const { return stale_; }
 
  private:
   std::filesystem::path dir_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t stale_ = 0;
 };
 
 }  // namespace bloc::sim

@@ -6,6 +6,7 @@
 
 #include "eval/metrics.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/dataset_io.h"
 #include "sim/vicon.h"
 
@@ -25,6 +26,7 @@ dsp::GridSpec RoomGrid(const ScenarioConfig& config, double resolution,
 StreamedExperiment StreamExperiment(const ScenarioConfig& config,
                                     const DatasetOptions& options,
                                     const StreamSinks& sinks) {
+  obs::TraceSpan setup_span("sim.stream.setup", "sim");
   Testbed testbed(config);
   MeasurementSimulator sim(testbed, options.measurement_threads);
   sim.SetChannelMap(options.channel_map);
@@ -74,7 +76,9 @@ StreamedExperiment StreamExperiment(const ScenarioConfig& config,
     pending.reserve(positions.size());
   }
 
+  setup_span.End();
   for (std::size_t i = 0; i < positions.size(); ++i) {
+    obs::TraceSpan round_span("sim.stream.round", "sim", i);
     const net::MeasurementRound produced = sim.RunRound(positions[i], i);
     for (const anchor::CsiReport& report : produced.reports) {
       transport.Send(net::CsiReportMsg{report});
@@ -94,6 +98,7 @@ StreamedExperiment StreamExperiment(const ScenarioConfig& config,
   }
 
   if (engine) {
+    obs::TraceSpan drain_span("sim.stream.drain", "sim", pending.size());
     for (std::future<void>& f : pending) f.get();
     out.bloc_errors.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -6,6 +6,8 @@
 #include "dsp/complex_ops.h"
 #include "dsp/fft.h"
 #include "link/channel_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phy/constants.h"
 
 namespace bloc::sim {
@@ -195,6 +197,13 @@ cplx MeasurementSimulator::MeasureFullPhyReference(
 
 net::MeasurementRound MeasurementSimulator::RunRound(
     const geom::Vec2& tag_position, std::uint64_t round_id) {
+  static obs::Counter& rounds_metric =
+      obs::GetCounter("sim.measurement.rounds");
+  static obs::Histogram& round_us_metric =
+      obs::GetHistogram("sim.measurement.round_us");
+  obs::TraceSpan round_span("sim.measurement.round", "sim", round_id);
+  obs::ScopedTimer round_timer(round_us_metric);
+  rounds_metric.Inc();
   const ScenarioConfig& cfg = testbed_.config();
   auto& anchors = testbed_.anchors();
   const std::size_t num_anchors = anchors.size();
@@ -236,6 +245,7 @@ net::MeasurementRound MeasurementSimulator::RunRound(
   ev_master_rotor_.resize(num_events * total_antennas);
   ev_tag_cfo_.resize(num_events * num_anchors);
   ev_master_cfo_.resize(num_events * num_anchors);
+  obs::TraceSpan prepass_span("sim.measurement.lo_prepass", "sim");
   for (std::size_t e = 0; e < num_events; ++e) {
     const double fc = link::DataChannelFrequencyHz(events[e].data_channel);
     testbed_.tag_oscillator().Retune();
@@ -260,9 +270,13 @@ net::MeasurementRound MeasurementSimulator::RunRound(
     }
   }
 
+  prepass_span.End();
+
   // Parallel fan-out over (event, anchor) pairs. Each measurement forks its
   // own noise stream from (round, channel, anchor id, antenna, leg), so the
   // result is independent of which worker runs it.
+  obs::TraceSpan fanout_span("sim.measurement.fanout", "sim",
+                             num_events * num_anchors);
   master_rx_.resize(link::kNumDataChannels * total_antennas);
   bands_.clear();
   bands_.resize(num_events * num_anchors);
@@ -326,6 +340,8 @@ net::MeasurementRound MeasurementSimulator::RunRound(
                                   std::max(std::abs(band.tag_csi[0]), 1e-12));
         bands_[idx] = std::move(band);
       });
+
+  fanout_span.End();
 
   // Serial assembly in the legacy (event, anchor) order.
   for (std::size_t e = 0; e < num_events; ++e) {

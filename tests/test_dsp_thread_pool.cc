@@ -101,5 +101,71 @@ TEST(ThreadPool, ShutdownDrainsPendingTasks) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPool, AccountsEveryTaskAndDropsNone) {
+  // The no-drop regression check behind the destructor assertion: every
+  // accepted task is counted as submitted, and by the time the pool has
+  // shut down, completed has caught up exactly — across Submit,
+  // ParallelFor, inline mode and a burst that outruns the workers.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        ++ran;
+      }));
+    }
+    pool.ParallelFor(40, [&ran](std::size_t, std::size_t) { ++ran; });
+    for (auto& f : futures) f.get();
+    EXPECT_GE(pool.tasks_submitted(), 100u);
+    submitted = pool.tasks_submitted();
+    completed = pool.tasks_completed();
+    EXPECT_LE(completed, submitted);
+  }
+  // The pool is destroyed: its own destructor asserted submitted ==
+  // completed after the join, and every task body must have run.
+  EXPECT_EQ(ran.load(), 140);
+  EXPECT_GE(submitted, 100u);
+}
+
+TEST(ThreadPool, InlineModeKeepsTheSameBooks) {
+  ThreadPool pool(1);
+  pool.Submit([] {}).get();
+  pool.ParallelFor(5, [](std::size_t, std::size_t) {});
+  // Inline execution is synchronous, so the totals are exact immediately:
+  // one task per Submit and one per ParallelFor call.
+  EXPECT_EQ(pool.tasks_submitted(), 2u);
+  EXPECT_EQ(pool.tasks_completed(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, QueueDepthReturnsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::microseconds(30)); }));
+  }
+  for (auto& f : futures) f.get();
+  // Every future resolved, so every task was popped from the queue.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, CompletionAccountedEvenWhenTaskThrows) {
+  ThreadPool pool(1);  // inline: the throw propagates to the caller
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](std::size_t, std::size_t) {
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // A throwing task still retires; otherwise the destructor assertion
+  // (submitted == completed) would fire on perfectly legal code.
+  EXPECT_EQ(pool.tasks_submitted(), 1u);
+  EXPECT_EQ(pool.tasks_completed(), 1u);
+}
+
 }  // namespace
 }  // namespace bloc::dsp

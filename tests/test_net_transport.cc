@@ -89,7 +89,9 @@ TEST(TcpTransport, EndToEndOverLoopback) {
   anchor1.Send(CsiReportMsg{MakeReport(1, 0, true)});
   anchor2.Send(CsiReportMsg{MakeReport(2, 0, false)});
 
-  const auto round = collector.WaitRound(0, 3000);
+  // Generous deadline: sanitized runs on a loaded single-core machine can
+  // starve the server thread for seconds.
+  const auto round = collector.WaitRound(0, 10000);
   ASSERT_TRUE(round.has_value());
   EXPECT_EQ(round->reports.size(), 2u);
   server.Stop();
@@ -103,7 +105,7 @@ TEST(TcpTransport, ManyMessagesOneConnection) {
   for (std::uint64_t r = 0; r < 50; ++r) {
     anchor.Send(CsiReportMsg{MakeReport(1, r, true)});
   }
-  const auto last = collector.WaitRound(49, 3000);
+  const auto last = collector.WaitRound(49, 10000);
   ASSERT_TRUE(last.has_value());
   EXPECT_EQ(last->reports.size(), 1u);
   server.Stop();
