@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     sim::DatasetOptions options = setup.options;
     const sim::Dataset dataset = driver.Obtain(scenario, options);
     const std::vector<double> errors =
-        sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset));
+        sim::EvaluateBloc(dataset, driver.LocalizerConfig(dataset));
     const auto stats = eval::ComputeStats(errors);
     rows.push_back({eval::Fmt(cfo_ppm, 0) + " ppm",
                     bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});

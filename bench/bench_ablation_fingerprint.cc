@@ -66,9 +66,9 @@ int main(int argc, char** argv) {
   const auto fp_same = EvaluateFingerprint(fingerprint, same_room);
   const auto fp_moved = EvaluateFingerprint(fingerprint, moved_room);
   const auto bloc_same =
-      sim::EvaluateBloc(same_room, sim::PaperLocalizerConfig(same_room));
+      sim::EvaluateBloc(same_room, driver.LocalizerConfig(same_room));
   const auto bloc_moved =
-      sim::EvaluateBloc(moved_room, sim::PaperLocalizerConfig(moved_room));
+      sim::EvaluateBloc(moved_room, driver.LocalizerConfig(moved_room));
 
   auto med = [](const std::vector<double>& e) {
     return bench::FmtCm(eval::ComputeStats(e).median);

@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   for (const double a : {0.0, 0.05, 0.1, 0.2, 0.4}) {
     for (const double b : {0.0, 0.05, 0.15, 0.3}) {
-      core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+      core::LocalizerConfig config = driver.LocalizerConfig(dataset);
       config.scoring.a = a;
       config.scoring.b = b;
       const std::vector<double> errors =
-          sim::EvaluateBloc(dataset, config, setup.threads);
+          sim::EvaluateBloc(dataset, config, setup.common.threads);
       const auto stats = eval::ComputeStats(errors);
       rows.push_back({eval::Fmt(a, 2), eval::Fmt(b, 2),
                       bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});

@@ -54,12 +54,12 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
-    core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+    core::LocalizerConfig config = driver.LocalizerConfig(dataset);
     if (sweep[i].channels < 37) {
       config.allowed_channels = CenteredChannels(sweep[i].channels);
     }
     const std::vector<double> errors =
-        sim::EvaluateBloc(dataset, config, setup.threads);
+        sim::EvaluateBloc(dataset, config, setup.common.threads);
     const auto stats = eval::ComputeStats(errors);
     rows.push_back({eval::Fmt(sweep[i].bandwidth_mhz, 0),
                     std::to_string(sweep[i].channels),

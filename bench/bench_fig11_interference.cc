@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> rows;
   for (const Case& c : cases) {
-    core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+    core::LocalizerConfig config = driver.LocalizerConfig(dataset);
     config.allowed_channels = c.map.UsedChannels();
     const std::vector<double> errors =
-        sim::EvaluateBloc(dataset, config, setup.threads);
+        sim::EvaluateBloc(dataset, config, setup.common.threads);
     const auto stats = eval::ComputeStats(errors);
     rows.push_back({c.label, std::to_string(c.map.UsedCount()),
                     bench::FmtCm(stats.median), bench::FmtCm(stats.p90)});

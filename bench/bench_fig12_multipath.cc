@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
   std::vector<eval::NamedCdf> series;
   std::vector<std::vector<std::string>> rows;
   for (const Case& c : cases) {
-    core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+    core::LocalizerConfig config = driver.LocalizerConfig(dataset);
     config.scoring.mode = c.mode;
     const std::vector<double> errors =
-        sim::EvaluateBloc(dataset, config, setup.threads);
+        sim::EvaluateBloc(dataset, config, setup.common.threads);
     series.push_back({c.label, dsp::MakeCdf(errors)});
     const auto stats = eval::ComputeStats(errors);
     rows.push_back(

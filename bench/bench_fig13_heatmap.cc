@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   eval::RmseHeatmap heatmap(bins);
 
   core::LocalizationEngine engine(dataset.deployment,
-                                  sim::PaperLocalizerConfig(dataset),
-                                  {.threads = setup.threads});
+                                  driver.LocalizerConfig(dataset),
+                                  {.threads = setup.common.threads});
   const std::vector<core::LocationResult> results =
       engine.LocateBatch(dataset.rounds);
   std::vector<double> corner_errors, center_errors;

@@ -38,9 +38,9 @@ std::size_t BandIndexOf(const core::CorrectedChannels& corrected,
 int main(int argc, char** argv) {
   sim::CliArgs args(argc, argv);
   const std::uint64_t seed = args.U64("seed", 1);
-  const std::string metrics_json = args.Str("metrics-json", "");
-  const std::string trace_path = args.Str("trace", "");
-  if (!trace_path.empty()) obs::SetTracingEnabled(true);
+  bench::CommonFlags common;
+  common.ReadFrom(args);
+  common.ApplyStartup();
 
   // ---------------------------------------------------------------- (a)
   std::cout << "=== Figure 8(a): CSI phase stability across rounds ===\n";
@@ -187,6 +187,6 @@ int main(int argc, char** argv) {
               << eval::Fmt(result.position.y, 2) << " (error "
               << bench::FmtCm(geom::Distance(result.position, tag)) << ")\n";
   }
-  bench::FinishObservability(metrics_json, trace_path);
+  bench::FinishObservability(common);
   return 0;
 }

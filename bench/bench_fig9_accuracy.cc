@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   const sim::Dataset& dataset = driver.dataset();
 
   const std::vector<double> bloc_errors =
-      sim::EvaluateBloc(dataset, sim::PaperLocalizerConfig(dataset),
-                        setup.threads);
+      sim::EvaluateBloc(dataset, driver.LocalizerConfig(dataset),
+                        setup.common.threads);
 
   baseline::AoaBaselineConfig aoa;
   aoa.grid = dataset.room_grid;

@@ -64,9 +64,9 @@ int main(int argc, char** argv) {
     // BLoc: subsets must contain the master (it terminates the connection).
     std::vector<std::vector<double>> bloc_runs;
     for (const auto& subset : SubsetsWith(all_ids, count, master_id)) {
-      core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+      core::LocalizerConfig config = driver.LocalizerConfig(dataset);
       config.allowed_anchors = subset;
-      bloc_runs.push_back(sim::EvaluateBloc(dataset, config, setup.threads));
+      bloc_runs.push_back(sim::EvaluateBloc(dataset, config, setup.common.threads));
     }
     const std::vector<double> bloc_errors = AverageOverSubsets(bloc_runs);
 

@@ -19,10 +19,10 @@ int main(int argc, char** argv) {
   std::vector<eval::NamedCdf> series;
   std::vector<std::vector<std::string>> rows;
   for (const std::size_t antennas : {4u, 3u}) {
-    core::LocalizerConfig bloc_config = sim::PaperLocalizerConfig(dataset);
+    core::LocalizerConfig bloc_config = driver.LocalizerConfig(dataset);
     bloc_config.max_antennas = antennas;
     const std::vector<double> bloc_errors =
-        sim::EvaluateBloc(dataset, bloc_config, setup.threads);
+        sim::EvaluateBloc(dataset, bloc_config, setup.common.threads);
 
     baseline::AoaBaselineConfig aoa_config;
     aoa_config.grid = dataset.room_grid;

@@ -10,8 +10,11 @@
 // path vs reference kernels, plus a measurement-thread sweep). Pass
 // --json=PATH to dump everything as machine-readable JSON (the perf
 // trajectory baseline), --sweep-rounds=N to size the batch, --no-micro to
-// skip the google-benchmark section, --mode=localize|fullphy|dataset|obs to
-// run one sweep family only.
+// skip the google-benchmark section, --mode=localize|fullphy|dataset|obs|
+// search to run one sweep family only. The search sweep compares the
+// exhaustive and coarse-to-fine likelihood searches (ms per fused map) and
+// audits position parity across the whole dataset; --search-guard turns the
+// audit into a regression gate (exit 1 on any position mismatch).
 //
 // The obs sweep measures the metrics substrate itself: fig9 LocateBatch
 // with metric recording enabled vs runtime-disabled. --obs-guard=PCT turns
@@ -471,6 +474,123 @@ struct ObsOverhead {
   double overhead_pct = 0.0;
 };
 
+struct SearchComparison {
+  double exhaustive_ms_per_map = 0.0;
+  double coarse_ms_per_map = 0.0;
+  double speedup = 0.0;
+  std::size_t parity_rounds = 0;
+  std::size_t parity_mismatches = 0;
+  std::size_t fallback_rounds = 0;
+  /// Kernel evaluations the coarse path performed / what exhaustive would.
+  double evaluated_fraction = 0.0;
+};
+
+/// Times the fused-map stage (FusedMapInto on a reused workspace, fuse-order
+/// derivation included) for at least `min_seconds`, single-threaded. Cycles
+/// round-robin through `rounds` so the average reflects the whole workload —
+/// the coarse-to-fine cost varies per round with the pruning rate, and timing
+/// a single round would over- or under-state it.
+double TimeMapStage(const core::Localizer& localizer,
+                    const std::vector<core::CorrectedChannels>& rounds,
+                    core::LocalizerWorkspace& ws, double min_seconds = 0.5) {
+  ws.corrected = rounds[0];
+  localizer.FusedMapInto(ws);  // warm-up: plans + pyramid levels
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t maps = 0;
+  double elapsed = 0.0;
+  do {
+    ws.corrected = rounds[maps % rounds.size()];
+    localizer.FusedMapInto(ws);
+    benchmark::DoNotOptimize(ws.fused);
+    ++maps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds || maps % rounds.size() != 0);
+  return 1e3 * elapsed / static_cast<double>(maps);
+}
+
+/// The coarse-to-fine search regression check: map-stage latency exhaustive
+/// vs coarse on the fig9 workload, plus a full-dataset position-parity and
+/// pruning-rate audit (selected positions must be bit-identical).
+SearchComparison RunSearchComparison(std::size_t coarse_stride) {
+  std::cerr << "comparing likelihood search strategies on the fig9 "
+               "workload...\n";
+  sim::DatasetOptions options;
+  options.locations = 40;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+
+  core::LocalizerConfig exhaustive_config = sim::PaperLocalizerConfig(dataset);
+  core::LocalizerConfig coarse_config = exhaustive_config;
+  coarse_config.spectra.search.mode = core::SearchMode::kCoarseToFine;
+  if (coarse_stride > 0) {
+    coarse_config.spectra.search.coarse_stride = coarse_stride;
+  }
+  const core::Localizer exhaustive(dataset.deployment, exhaustive_config);
+  const core::Localizer coarse(dataset.deployment, coarse_config);
+
+  std::vector<core::CorrectedChannels> corrected;
+  corrected.reserve(dataset.rounds.size());
+  for (const net::MeasurementRound& round : dataset.rounds) {
+    corrected.push_back(exhaustive.CorrectedFor(round));
+  }
+
+  SearchComparison cmp;
+  {
+    // Alternate best-of-5 windows: a load spike then degrades one rep of
+    // both strategies instead of biasing whichever ran during it, and the
+    // minimum filters scheduler noise out of a percent-level comparison
+    // (same rationale as TimeBatchMs below).
+    core::LocalizerWorkspace ews, cws;
+    cmp.exhaustive_ms_per_map = TimeMapStage(exhaustive, corrected, ews);
+    cmp.coarse_ms_per_map = TimeMapStage(coarse, corrected, cws);
+    for (int rep = 1; rep < 5; ++rep) {
+      cmp.exhaustive_ms_per_map = std::min(
+          cmp.exhaustive_ms_per_map, TimeMapStage(exhaustive, corrected, ews));
+      cmp.coarse_ms_per_map =
+          std::min(cmp.coarse_ms_per_map, TimeMapStage(coarse, corrected, cws));
+    }
+  }
+  cmp.speedup = cmp.exhaustive_ms_per_map / cmp.coarse_ms_per_map;
+
+  core::LocalizerWorkspace ews, cws;
+  std::size_t evaluated = 0;
+  std::size_t exhaustive_cells = 0;
+  for (const net::MeasurementRound& round : dataset.rounds) {
+    const core::LocationResult e = exhaustive.Locate(round, ews);
+    const core::LocationResult c = coarse.Locate(round, cws);
+    ++cmp.parity_rounds;
+    if (e.position.x != c.position.x || e.position.y != c.position.y) {
+      ++cmp.parity_mismatches;
+    }
+    if (cws.search.stats.fell_back) ++cmp.fallback_rounds;
+    evaluated += cws.search.stats.cells_evaluated;
+    exhaustive_cells +=
+        cws.search.stats.cells_evaluated + cws.search.stats.cells_pruned;
+  }
+  if (exhaustive_cells > 0) {
+    cmp.evaluated_fraction = static_cast<double>(evaluated) /
+                             static_cast<double>(exhaustive_cells);
+  }
+
+  std::cout << "\n=== likelihood search (fig9 workload, 1 thread, fused "
+               "4-anchor map) ===\n"
+            << "  exhaustive search     " << cmp.exhaustive_ms_per_map
+            << " ms/map\n"
+            << "  coarse-to-fine search " << cmp.coarse_ms_per_map
+            << " ms/map  (x" << cmp.speedup << " speedup)\n"
+            << "  parity: " << cmp.parity_mismatches << "/"
+            << cmp.parity_rounds << " position mismatches, "
+            << cmp.fallback_rounds << " fallbacks, "
+            << 100.0 * cmp.evaluated_fraction << "% of cells evaluated\n";
+  if (cmp.parity_mismatches > 0) {
+    std::cerr << "bench_perf: WARNING coarse-to-fine selected different "
+                 "positions\n";
+  }
+  return cmp;
+}
+
 /// Best-of-`reps` LocateBatch timing (ms/round) under the current metrics
 /// switch; the minimum filters scheduler noise out of a percent-level
 /// comparison.
@@ -536,6 +656,7 @@ void WriteSweepJson(const std::string& path,
                     const std::vector<SweepPoint>* fullphy_sweep,
                     const DatasetSweep* dataset,
                     const ObsOverhead* obs_overhead,
+                    const SearchComparison* search,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -558,6 +679,16 @@ void WriteSweepJson(const std::string& path,
         << fullphy->reference_ms_per_round
         << ", \"planned_ms_per_round\": " << fullphy->planned_ms_per_round
         << ", \"speedup\": " << fullphy->speedup << "}";
+  }
+  if (search != nullptr) {
+    out << ",\n  \"search\": {\"exhaustive_ms_per_map\": "
+        << search->exhaustive_ms_per_map
+        << ", \"coarse_ms_per_map\": " << search->coarse_ms_per_map
+        << ", \"speedup\": " << search->speedup
+        << ", \"parity_rounds\": " << search->parity_rounds
+        << ", \"parity_mismatches\": " << search->parity_mismatches
+        << ", \"fallback_rounds\": " << search->fallback_rounds
+        << ", \"evaluated_fraction\": " << search->evaluated_fraction << "}";
   }
   if (obs_overhead != nullptr) {
     out << ",\n  \"observability\": {\"enabled_ms_per_round\": "
@@ -606,25 +737,28 @@ void WriteSweepJson(const std::string& path,
 
 int main(int argc, char** argv) {
   // Split off our flags; google-benchmark aborts on ones it doesn't know.
+  // The shared --metrics-json/--trace/--threads/--search family goes
+  // through bench::CommonFlags::TryParse like every other bench.
   std::string json_path;
-  std::string metrics_json;
-  std::string trace_path;
-  std::string mode = "all";  // all | localize | fullphy | dataset | obs
+  bloc::bench::CommonFlags common;
+  std::string mode = "all";  // all | localize | fullphy | dataset | obs | search
   std::size_t sweep_rounds = 8;
   std::size_t dataset_locations = 100;
   double obs_guard_pct = -1.0;  // <0: report only, no gate
+  bool search_guard = false;
   bool run_micro = true;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
+    if (common.TryParse(arg)) {
+      continue;
+    }
     if (arg.starts_with("--json=")) {
       json_path = arg.substr(7);
-    } else if (arg.starts_with("--metrics-json=")) {
-      metrics_json = arg.substr(15);
-    } else if (arg.starts_with("--trace=")) {
-      trace_path = arg.substr(8);
     } else if (arg.starts_with("--obs-guard=")) {
       obs_guard_pct = std::stod(std::string(arg.substr(12)));
+    } else if (arg == "--search-guard") {
+      search_guard = true;
     } else if (arg.starts_with("--sweep-rounds=")) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
     } else if (arg.starts_with("--dataset-locations=")) {
@@ -632,9 +766,10 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--mode=")) {
       mode = arg.substr(7);
       if (mode != "all" && mode != "localize" && mode != "fullphy" &&
-          mode != "dataset" && mode != "obs") {
+          mode != "dataset" && mode != "obs" && mode != "search") {
         std::cerr << "bench_perf: unknown --mode=" << mode
-                  << " (expected all, localize, fullphy, dataset or obs)\n";
+                  << " (expected all, localize, fullphy, dataset, obs or "
+                     "search)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -643,7 +778,7 @@ int main(int argc, char** argv) {
       bench_argv.push_back(argv[i]);
     }
   }
-  if (!trace_path.empty()) bloc::obs::SetTracingEnabled(true);
+  common.ApplyStartup();
   if (run_micro) {
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
@@ -661,10 +796,12 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> fullphy_sweep;
   DatasetSweep dataset;
   ObsOverhead obs_overhead;
+  SearchComparison search;
   const bool run_localize = mode == "all" || mode == "localize";
   const bool run_fullphy = mode == "all" || mode == "fullphy";
   const bool run_dataset = mode == "all" || mode == "dataset";
   const bool run_obs = mode == "all" || mode == "obs";
+  const bool run_search = mode == "all" || mode == "search";
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -673,6 +810,7 @@ int main(int argc, char** argv) {
     kernels = RunKernelComparison();
     sweep = RunThroughputSweep(sweep_rounds);
   }
+  if (run_search) search = RunSearchComparison(common.coarse_stride);
   if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
   if (run_obs) obs_overhead = RunObsOverheadCheck(sweep_rounds);
   if (!json_path.empty()) {
@@ -681,14 +819,21 @@ int main(int argc, char** argv) {
                    run_fullphy ? &fullphy : nullptr,
                    run_fullphy ? &fullphy_sweep : nullptr,
                    run_dataset ? &dataset : nullptr,
-                   run_obs ? &obs_overhead : nullptr, sweep_rounds);
+                   run_obs ? &obs_overhead : nullptr,
+                   run_search ? &search : nullptr, sweep_rounds);
   }
-  bloc::bench::FinishObservability(metrics_json, trace_path);
+  bloc::bench::FinishObservability(common);
   if (run_obs && obs_guard_pct >= 0.0 &&
       obs_overhead.overhead_pct > obs_guard_pct) {
     std::cerr << "bench_perf: observability overhead "
               << obs_overhead.overhead_pct << "% exceeds the --obs-guard="
               << obs_guard_pct << "% budget\n";
+    return 1;
+  }
+  if (run_search && search_guard && search.parity_mismatches > 0) {
+    std::cerr << "bench_perf: coarse-to-fine search selected "
+              << search.parity_mismatches << "/" << search.parity_rounds
+              << " positions differing from exhaustive (--search-guard)\n";
     return 1;
   }
   return 0;

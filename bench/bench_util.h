@@ -1,13 +1,17 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "bloc/localizer.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "obs/report.h"
@@ -18,22 +22,107 @@
 
 namespace bloc::bench {
 
+/// Flags every bench binary shares, parsed in exactly one place:
+///   --threads=N        engine/synthesis workers (0 = hardware_concurrency)
+///   --metrics-json=P   RunReport JSON at exit
+///   --trace=P          Chrome trace JSON at exit (enables tracing)
+///   --search=MODE      likelihood search: "exhaustive" or "coarse"
+///   --coarse-stride=N  coarse decimation override (0 = SearchConfig default)
+///   --search-parity    assert coarse == exhaustive positions every round
+/// CliArgs-based benches call ReadFrom; bench_perf (which forwards unknown
+/// args to google-benchmark) feeds each argument through TryParse.
+struct CommonFlags {
+  std::size_t threads = 1;
+  std::string metrics_json;
+  std::string trace_path;
+  std::string search = "exhaustive";
+  std::size_t coarse_stride = 0;
+  bool search_parity = false;
+
+  void ReadFrom(const sim::CliArgs& args) {
+    threads = args.Threads();
+    metrics_json = args.Str("metrics-json", metrics_json);
+    trace_path = args.Str("trace", trace_path);
+    search = args.Str("search", search);
+    coarse_stride = args.SizeT("coarse-stride", coarse_stride);
+    if (args.Flag("search-parity")) search_parity = true;
+  }
+
+  /// Consumes one `--key=value` argument; false leaves it for the caller.
+  bool TryParse(std::string_view arg) {
+    const auto value = [&](std::string_view key) {
+      return arg.substr(key.size());
+    };
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string_view v = value("--threads=");
+      std::size_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      threads = n;
+      return true;
+    }
+    if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json = std::string(value("--metrics-json="));
+      return true;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = std::string(value("--trace="));
+      return true;
+    }
+    if (arg.rfind("--search=", 0) == 0) {
+      search = std::string(value("--search="));
+      return true;
+    }
+    if (arg.rfind("--coarse-stride=", 0) == 0) {
+      const std::string_view v = value("--coarse-stride=");
+      std::size_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      coarse_stride = n;
+      return true;
+    }
+    if (arg == "--search-parity") {
+      search_parity = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Side effects that must happen before the workload (tracing opt-in).
+  void ApplyStartup() const {
+    if (!trace_path.empty()) obs::SetTracingEnabled(true);
+  }
+
+  core::SearchConfig MakeSearchConfig() const {
+    core::SearchConfig sc;
+    if (search == "coarse") {
+      sc.mode = core::SearchMode::kCoarseToFine;
+    } else if (search != "exhaustive") {
+      throw std::invalid_argument("--search must be 'exhaustive' or 'coarse'");
+    }
+    if (coarse_stride > 0) sc.coarse_stride = coarse_stride;
+    sc.parity_check = search_parity;
+    return sc;
+  }
+
+  /// Applies the search flags onto an existing localizer config.
+  void Apply(core::LocalizerConfig& config) const {
+    config.spectra.search = MakeSearchConfig();
+  }
+};
+
 struct BenchSetup {
   sim::ScenarioConfig scenario;
   sim::DatasetOptions options;
   std::string csv_path;
-  /// Engine worker threads (--threads=N, default hardware_concurrency).
-  std::size_t threads = 1;
+  /// --threads / --metrics-json / --trace / --search flags (shared).
+  CommonFlags common;
   std::string dataset_cache;  // --dataset-cache=DIR
   std::string save_dataset;   // --save-dataset=PATH (primary dataset)
   std::string load_dataset;   // --load-dataset=PATH (primary dataset)
-  std::string metrics_json;   // --metrics-json=PATH (RunReport JSON at exit)
-  std::string trace_path;     // --trace=PATH (Chrome trace JSON at exit)
 };
 
-/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R --threads=N
+/// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R
 /// --dataset-cache=DIR --save-dataset=PATH --load-dataset=PATH
-/// --metrics-json=PATH --trace=PATH.
+/// plus every CommonFlags flag.
 inline BenchSetup ParseSetup(int argc, char** argv,
                              std::size_t default_locations = 250) {
   sim::CliArgs args(argc, argv);
@@ -42,17 +131,14 @@ inline BenchSetup ParseSetup(int argc, char** argv,
   setup.options.locations = args.SizeT("locations", default_locations);
   setup.options.grid_resolution = args.Double("resolution", 0.075);
   setup.csv_path = args.Str("csv", "");
-  setup.threads = args.Threads();
+  setup.common.ReadFrom(args);
   // --threads drives dataset synthesis too: the measurement simulator's
   // per-round fan-out is bit-identical for every thread count.
-  setup.options.measurement_threads = setup.threads;
+  setup.options.measurement_threads = setup.common.threads;
   setup.dataset_cache = args.Str("dataset-cache", "");
   setup.save_dataset = args.Str("save-dataset", "");
   setup.load_dataset = args.Str("load-dataset", "");
-  setup.metrics_json = args.Str("metrics-json", "");
-  setup.trace_path = args.Str("trace", "");
-  // Tracing defaults to off; asking for a trace file is the opt-in.
-  if (!setup.trace_path.empty()) obs::SetTracingEnabled(true);
+  setup.common.ApplyStartup();
   return setup;
 }
 
@@ -73,8 +159,12 @@ inline void FinishObservability(const std::string& metrics_json,
   }
 }
 
+inline void FinishObservability(const CommonFlags& common) {
+  FinishObservability(common.metrics_json, common.trace_path);
+}
+
 inline void FinishObservability(const BenchSetup& setup) {
-  FinishObservability(setup.metrics_json, setup.trace_path);
+  FinishObservability(setup.common);
 }
 
 /// Shared obtain/evaluate policy for the bench binaries — the paper's
@@ -105,6 +195,15 @@ class ExperimentDriver {
       }
     }
     return *primary_;
+  }
+
+  /// The paper localizer config for `dataset` with the shared search flags
+  /// (--search / --coarse-stride / --search-parity) applied — every bench
+  /// evaluates through this so the flags reach the whole suite.
+  core::LocalizerConfig LocalizerConfig(const sim::Dataset& dataset) const {
+    core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+    setup_.common.Apply(config);
+    return config;
   }
 
   /// Same store policy for additional datasets (the ablations build their

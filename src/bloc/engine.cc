@@ -59,6 +59,16 @@ LocationResult LocalizationEngine::Locate(const net::MeasurementRound& round) {
     localizer_.FuseOrder(ws.corrected, ws.fuse_order);
   }
 
+  // Coarse-to-fine rounds route through the (serial) search strategy: its
+  // Stage A/B decisions are sequential by construction, and the pruned
+  // refine stage is far below the parallel-map break-even point anyway.
+  if (localizer_.config().spectra.search.mode != SearchMode::kExhaustive) {
+    localizer_.search().BuildFusedInto(localizer_, ws);
+    obs::TraceSpan span("localize.score", "bloc");
+    obs::ScopedTimer timer(metrics.score_us);
+    return localizer_.ScoreFused(ws.fused, ws.corrected);
+  }
+
   const std::size_t n = ws.fuse_order.size();
   if (ws.anchor_maps.size() < n) ws.anchor_maps.resize(n);
   if (ws.spectra.size() < n) ws.spectra.resize(n);

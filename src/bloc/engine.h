@@ -34,7 +34,9 @@ class LocalizationEngine {
   LocalizationEngine(Deployment deployment, LocalizerConfig config,
                      EngineOptions options = {});
 
-  /// Localizes one round, computing the per-anchor maps in parallel.
+  /// Localizes one round. With SearchMode::kExhaustive the per-anchor maps
+  /// are computed in parallel; coarse-to-fine rounds run the serial search
+  /// strategy (bit-identical selected positions either way).
   LocationResult Locate(const net::MeasurementRound& round);
 
   /// Localizes many rounds, distributing them across the pool. results[i]

@@ -49,6 +49,54 @@ struct LocationResult {
   std::shared_ptr<const dsp::Grid2D> fused_map;
 };
 
+/// Per-round outcome of the search strategy, written by BuildFusedInto and
+/// read by the tests and the obs counters. "Cells" count (cell, anchor)
+/// kernel evaluations; exhaustive rounds evaluate cells x anchors of them.
+/// Why a coarse-to-fine round ran exhaustively instead.
+enum class FallbackReason : std::uint8_t {
+  kNone = 0,        // the coarse path produced the map
+  kConfig,          // inapplicable configuration (kernel/stride/threshold)
+  kDegenerate,      // an anchor map or the fused surface had no positive max
+  kFractionGuard,   // survivor set too large for pruning to pay
+  kBoundViolation,  // a refined value exceeded its block bound (canary)
+};
+
+struct SearchStats {
+  /// The coarse-to-fine path produced this round's map.
+  bool used_coarse = false;
+  /// Coarse search was requested but the round ran exhaustively (bound
+  /// violation, degenerate map, or pruning not paying).
+  bool fell_back = false;
+  FallbackReason fallback_reason = FallbackReason::kNone;
+  std::size_t cells_evaluated = 0;
+  std::size_t cells_pruned = 0;
+  /// Blocks refined at full resolution (core + halo).
+  std::size_t regions_refined = 0;
+};
+
+/// Scratch of the coarse-to-fine search (DESIGN.md §5e). Indexed by fuse-
+/// order slot i and row-major block b; sized on first use and reused.
+struct SearchScratch {
+  std::vector<double> coarse;      // [i * blocks + b] raw coarse samples
+  std::vector<double> bound;       // [i * blocks + b] inflated upper bounds
+  std::vector<double> fused_coarse;  // [b] fused coarse samples and bounds
+  std::vector<double> anchor_max;  // [i] exact per-anchor fine maximum M_i
+  std::vector<double> values;      // per-anchor refined magnitudes
+  std::vector<std::uint8_t> block_flag;  // 0 pruned, 1 core, 2 halo
+  /// Survivor cells as contiguous row runs (see JointLikelihoodSpansInto);
+  /// `values` holds the spans' kernel output concatenated in order.
+  std::vector<CellSpan> spans;
+  /// Branch-and-bound scratch of the exact per-anchor maximum: candidate
+  /// blocks sorted by bound, the current batch's fine cells, each cell's
+  /// owning block, and the kernel output.
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> cand_cells;
+  std::vector<std::uint32_t> cand_cell_block;
+  std::vector<double> cand_values;
+  dsp::Grid2D parity_map;  // exhaustive map in parity mode
+  SearchStats stats;
+};
+
 /// All per-round scratch of the staged pipeline. Owned by the caller (one
 /// per engine worker); every buffer is reused round after round, so the
 /// steady state performs no heap allocations for a fixed deployment shape.
@@ -66,6 +114,8 @@ struct LocalizerWorkspace {
   /// result without a deep copy; the next round allocates a fresh grid only
   /// if the previous one is still referenced by a result.
   std::shared_ptr<dsp::Grid2D> fused;
+  /// Coarse-to-fine search scratch and per-round stats.
+  SearchScratch search;
 
   /// Ensures `fused` exists and is not aliased by an outstanding result.
   dsp::Grid2D& EnsureFused() {
@@ -94,8 +144,17 @@ class Localizer {
   /// diagnostics and the microbenchmarks.
   CorrectedChannels CorrectedFor(const net::MeasurementRound& round) const;
 
-  /// Builds the fused (cross-anchor) likelihood map without peak selection.
+  /// Builds the fused (cross-anchor) likelihood map without peak selection,
+  /// via the configured search strategy. With SearchMode::kCoarseToFine the
+  /// result is partial: exact in every refined block, zero elsewhere — peak
+  /// selection over it is bit-identical (see DESIGN.md §5e).
   dsp::Grid2D FusedMap(const CorrectedChannels& corrected) const;
+
+  /// Allocation-free map stage over an already-corrected round: (re)derives
+  /// ws.fuse_order from ws.corrected and runs the configured search
+  /// strategy into ws.EnsureFused(). The map-stage body of Locate, exposed
+  /// for the benchmarks.
+  void FusedMapInto(LocalizerWorkspace& ws) const;
 
   // --- Pipeline stages, in execution order (used by LocalizationEngine) ---
 
@@ -120,6 +179,12 @@ class Localizer {
                      std::size_t anchor_index, dsp::Grid2D& map,
                      SpectraWorkspace& ws) const;
 
+  /// The Eq. 17 evaluation inputs of `corrected.anchors[anchor_index]`
+  /// under this deployment/config — what AnchorMapInto evaluates. Exposed
+  /// for the search strategies, which evaluate cell subsets directly.
+  SpectraInput SpectraInputFor(const CorrectedChannels& corrected,
+                               std::size_t anchor_index) const;
+
   /// Score: multipath-rejecting peak selection over the fused map. When
   /// keep_map is configured the result shares `fused` (no deep copy), so
   /// callers that reuse the grid must re-acquire it via
@@ -135,6 +200,9 @@ class Localizer {
   /// (the engine's workers all hit this one cache).
   SteeringPlanCache& plan_cache() const { return *plan_cache_; }
 
+  /// The search strategy the config selected (process-wide singleton).
+  const SearchStrategy& search() const { return *search_; }
+
  private:
   Deployment deployment_;
   LocalizerConfig config_;
@@ -144,6 +212,7 @@ class Localizer {
   std::array<bool, 256> channel_allowed_{};
   bool filter_channels_ = false;
   std::shared_ptr<SteeringPlanCache> plan_cache_;
+  const SearchStrategy* search_ = nullptr;
 };
 
 }  // namespace bloc::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "dsp/complex_ops.h"
+#include "dsp/simd_dispatch.h"
 
 namespace bloc::core {
 
@@ -30,6 +32,58 @@ SteeringPlanKey MakeSteeringPlanKey(const SpectraInput& input,
   key.comb_f0 = input.band_freqs_hz.front();
   key.comb_step = comb_step;
   return key;
+}
+
+SteeringLevel SteeringLevel::Build(const dsp::GridSpec& spec,
+                                   std::size_t stride) {
+  if (!spec.Valid() || stride == 0) {
+    throw std::invalid_argument("SteeringLevel: invalid spec or stride");
+  }
+  SteeringLevel level;
+  level.stride = stride;
+  level.fine_cols = spec.Cols();
+  level.fine_rows = spec.Rows();
+  if (level.fine_cols * level.fine_rows >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("SteeringLevel: grid too large");
+  }
+  level.bcols = (level.fine_cols + stride - 1) / stride;
+  level.brows = (level.fine_rows + stride - 1) / stride;
+  level.sample_cells.reserve(level.bcols * level.brows);
+  for (std::size_t br = 0; br < level.brows; ++br) {
+    for (std::size_t bc = 0; bc < level.bcols; ++bc) {
+      // The block's minimum corner is a member cell, so every coarse sample
+      // is an exact fine-grid value (no interpolation anywhere).
+      level.sample_cells.push_back(static_cast<std::uint32_t>(
+          br * stride * level.fine_cols + bc * stride));
+    }
+  }
+  return level;
+}
+
+void SteeringLevel::AppendBlockCells(std::size_t bc, std::size_t br,
+                                     std::vector<std::uint32_t>& out) const {
+  const std::size_t row0 = br * stride;
+  const std::size_t col0 = bc * stride;
+  const std::size_t row1 = std::min(row0 + stride, fine_rows);
+  const std::size_t col1 = std::min(col0 + stride, fine_cols);
+  for (std::size_t row = row0; row < row1; ++row) {
+    for (std::size_t col = col0; col < col1; ++col) {
+      out.push_back(static_cast<std::uint32_t>(row * fine_cols + col));
+    }
+  }
+}
+
+std::shared_ptr<const SteeringLevel> SteeringPlan::Level(
+    std::size_t stride) const {
+  std::lock_guard<std::mutex> lock(level_mu_);
+  for (const auto& level : levels_) {
+    if (level->stride == stride) return level;
+  }
+  levels_.push_back(
+      std::make_shared<const SteeringLevel>(SteeringLevel::Build(key_.grid,
+                                                                 stride)));
+  return levels_.back();
 }
 
 SteeringPlan::SteeringPlan(SteeringPlanKey key) : key_(std::move(key)) {
@@ -81,23 +135,14 @@ SteeringPlan::SteeringPlan(SteeringPlanKey key) : key_(std::move(key)) {
   }
 }
 
-SteeringPlanCache::SteeringPlanCache()
-    : builds_metric_(obs::GetCounter("bloc.steering_plan_cache.builds")),
-      lookups_metric_(obs::GetCounter("bloc.steering_plan_cache.lookups")) {}
+SteeringPlanCache::SteeringPlanCache() : SteeringPlanCache(SteeringCacheLimits{}) {}
 
-std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
-    const SteeringPlanKey& key) {
-  lookups_metric_.Inc();
-  std::lock_guard<std::mutex> lock(mu_);
-  ++lookups_;
-  for (const auto& plan : plans_) {
-    if (plan->key() == key) return plan;
-  }
-  ++builds_;
-  builds_metric_.Inc();
-  plans_.push_back(std::make_shared<const SteeringPlan>(key));
-  return plans_.back();
-}
+SteeringPlanCache::SteeringPlanCache(SteeringCacheLimits limits)
+    : limits_(limits),
+      builds_metric_(obs::GetCounter("bloc.steering_plan_cache.builds")),
+      lookups_metric_(obs::GetCounter("bloc.steering_plan_cache.lookups")),
+      evictions_metric_(obs::GetCounter("bloc.steering_cache.evictions")),
+      bytes_gauge_(obs::GetGauge("bloc.steering_cache.bytes")) {}
 
 namespace {
 
@@ -119,6 +164,43 @@ bool Matches(const SteeringPlanKey& key, const SpectraInput& input,
 
 }  // namespace
 
+void SteeringPlanCache::EvictOverBudgetLocked() {
+  // The front (MRU) plan always stays resident, even over-budget alone:
+  // evicting the plan we are about to return would defeat the cache.
+  while (plans_.size() > 1 &&
+         (plans_.size() > limits_.max_plans || bytes_ > limits_.max_bytes)) {
+    bytes_ -= plans_.back()->MemoryBytes();
+    plans_.pop_back();
+    ++evictions_;
+    evictions_metric_.Inc();
+  }
+  bytes_gauge_.Set(static_cast<std::int64_t>(bytes_));
+}
+
+std::shared_ptr<const SteeringPlan> SteeringPlanCache::Insert(
+    std::shared_ptr<const SteeringPlan> plan) {
+  ++builds_;
+  builds_metric_.Inc();
+  bytes_ += plan->MemoryBytes();
+  plans_.insert(plans_.begin(), std::move(plan));
+  EvictOverBudgetLocked();
+  return plans_.front();
+}
+
+std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
+    const SteeringPlanKey& key) {
+  lookups_metric_.Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    if ((*it)->key() == key) {
+      std::rotate(plans_.begin(), it, it + 1);  // hit: move to MRU front
+      return plans_.front();
+    }
+  }
+  return Insert(std::make_shared<const SteeringPlan>(key));
+}
+
 std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
     const SpectraInput& input, const dsp::GridSpec& spec, double comb_step) {
   if (input.band_freqs_hz.empty()) {
@@ -127,20 +209,16 @@ std::shared_ptr<const SteeringPlan> SteeringPlanCache::GetOrBuild(
   const double comb_f0 = input.band_freqs_hz.front();
   const std::size_t antennas = detail::EffectiveAntennas(input);
   lookups_metric_.Inc();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++lookups_;
-    for (const auto& plan : plans_) {
-      if (Matches(plan->key(), input, spec, comb_f0, comb_step, antennas)) {
-        return plan;
-      }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    if (Matches((*it)->key(), input, spec, comb_f0, comb_step, antennas)) {
+      std::rotate(plans_.begin(), it, it + 1);  // hit: move to MRU front
+      return plans_.front();
     }
-    ++builds_;
-    builds_metric_.Inc();
-    plans_.push_back(std::make_shared<const SteeringPlan>(
-        MakeSteeringPlanKey(input, spec, comb_step)));
-    return plans_.back();
   }
+  return Insert(std::make_shared<const SteeringPlan>(
+      MakeSteeringPlanKey(input, spec, comb_step)));
 }
 
 std::size_t SteeringPlanCache::builds() const {
@@ -153,81 +231,45 @@ std::size_t SteeringPlanCache::lookups() const {
   return lookups_;
 }
 
+std::size_t SteeringPlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::size_t SteeringPlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 namespace {
 
-// The hot loops. Split-complex with __restrict so the compiler sees
-// independent contiguous streams and vectorizes; manual real/imag
-// arithmetic sidesteps the NaN-checking __muldc3 complex-multiply path.
+// The hot loops live in dsp/simd_dispatch.cc as explicit scalar/AVX2/
+// AVX-512 variants of the split-complex MAC+rotate, selected once per
+// process from the CPU probe (and the BLOC_FORCE_ISA override). All
+// variants are bit-identical per element, so kernel choice never affects
+// results.
 
-/// acc += a * cur, then cur *= step, for all cells.
-void MacRotate(double a_re, double a_im, const double* __restrict step_re,
-               const double* __restrict step_im, double* __restrict cur_re,
-               double* __restrict cur_im, double* __restrict acc_re,
-               double* __restrict acc_im, std::size_t n) {
-  for (std::size_t c = 0; c < n; ++c) {
-    const double r = cur_re[c];
-    const double i = cur_im[c];
-    acc_re[c] += a_re * r - a_im * i;
-    acc_im[c] += a_re * i + a_im * r;
-    cur_re[c] = r * step_re[c] - i * step_im[c];
-    cur_im[c] = r * step_im[c] + i * step_re[c];
-  }
+/// Runs the comb walk over `n` cells whose base/step rotors start at the
+/// given pointers: ws.acc ends up holding sum_k alpha_k e^{j 2 pi f_k D / c}
+/// per cell. The fused `walk` kernel holds the per-cell rotor state and
+/// accumulator in registers for the whole walk, so the only memory traffic
+/// is one streaming read of base/step and one write of acc. std::complex
+/// is array-compatible with double pairs, so the dense comb passes through
+/// as interleaved (re, im).
+void WalkComb(const double* base_re, const double* base_im,
+              const double* step_re, const double* step_im,
+              const dsp::CVec& dense, SpectraWorkspace& ws, std::size_t n) {
+  ws.acc.Resize(n);
+  dsp::simd::Active().walk(reinterpret_cast<const double*>(dense.data()),
+                           ws.comb_steps, base_re, base_im, step_re, step_im,
+                           ws.acc.re.data(), ws.acc.im.data(), n);
 }
 
-/// acc += a * cur for all cells (final comb step: no rotation needed).
-void MacOnly(double a_re, double a_im, const double* __restrict cur_re,
-             const double* __restrict cur_im, double* __restrict acc_re,
-             double* __restrict acc_im, std::size_t n) {
-  for (std::size_t c = 0; c < n; ++c) {
-    acc_re[c] += a_re * cur_re[c] - a_im * cur_im[c];
-    acc_im[c] += a_re * cur_im[c] + a_im * cur_re[c];
-  }
-}
-
-/// cur *= step for all cells (comb gap: the band is absent, only advance).
-void RotateOnly(const double* __restrict step_re,
-                const double* __restrict step_im, double* __restrict cur_re,
-                double* __restrict cur_im, std::size_t n) {
-  for (std::size_t c = 0; c < n; ++c) {
-    const double r = cur_re[c];
-    const double i = cur_im[c];
-    cur_re[c] = r * step_re[c] - i * step_im[c];
-    cur_im[c] = r * step_im[c] + i * step_re[c];
-  }
-}
-
-/// Runs the comb walk of antenna `j` over all cells: ws.acc ends up holding
-/// sum_k alpha_jk e^{j 2 pi f_k D_j(x) / c} per cell. Requires ws.cur/acc
-/// sized to the plan and the dense comb built.
+/// WalkComb over the full grid of antenna `j`.
 void WalkAntenna(const SteeringPlan& plan, std::size_t j,
                  const dsp::CVec& dense, SpectraWorkspace& ws) {
-  const std::size_t cells = plan.num_cells();
-  std::copy_n(plan.base_re(j), cells, ws.cur.re.data());
-  std::copy_n(plan.base_im(j), cells, ws.cur.im.data());
-  ws.acc.re.assign(cells, 0.0);
-  ws.acc.im.assign(cells, 0.0);
-  const double* step_re = plan.step_re(j);
-  const double* step_im = plan.step_im(j);
-  const std::size_t steps = ws.comb_steps;
-  for (std::size_t k = 0; k < steps; ++k) {
-    const double a_re = dense[k].real();
-    const double a_im = dense[k].imag();
-    const bool last = (k + 1 == steps);
-    if (a_re == 0.0 && a_im == 0.0) {
-      // Absent band (comb gap): contributes exactly zero in the reference
-      // kernel too, so skipping the MAC is bit-identical.
-      if (!last) {
-        RotateOnly(step_re, step_im, ws.cur.re.data(), ws.cur.im.data(),
-                   cells);
-      }
-    } else if (last) {
-      MacOnly(a_re, a_im, ws.cur.re.data(), ws.cur.im.data(),
-              ws.acc.re.data(), ws.acc.im.data(), cells);
-    } else {
-      MacRotate(a_re, a_im, step_re, step_im, ws.cur.re.data(),
-                ws.cur.im.data(), ws.acc.re.data(), ws.acc.im.data(), cells);
-    }
-  }
+  WalkComb(plan.base_re(j), plan.base_im(j), plan.step_re(j), plan.step_im(j),
+           dense, ws, plan.num_cells());
 }
 
 void CheckPlan(const SpectraInput& input, const SteeringPlan& plan,
@@ -248,7 +290,6 @@ void JointLikelihoodMapInto(const SpectraInput& input, const SteeringPlan& plan,
   detail::BuildComb(input, antennas, ws);
   CheckPlan(input, plan, grid, ws, antennas);
   const std::size_t cells = plan.num_cells();
-  ws.cur.Resize(cells);
   ws.acc.Resize(cells);
   // Per-antenna partial sums land in ws.acc and are added into ws.total in
   // antenna order — the same summation order as the reference kernel, so
@@ -275,13 +316,139 @@ void JointLikelihoodMapInto(const SpectraInput& input, const SteeringPlan& plan,
   }
 }
 
+void JointLikelihoodCellsInto(const SpectraInput& input,
+                              const SteeringPlan& plan,
+                              std::span<const std::uint32_t> cells,
+                              double* out, SpectraWorkspace& ws) {
+  const std::size_t antennas = detail::EffectiveAntennas(input);
+  detail::BuildComb(input, antennas, ws);
+  if (!Matches(plan.key(), input, plan.key().grid, ws.comb_f0, ws.comb_step,
+               antennas)) {
+    throw std::invalid_argument(
+        "steering plan does not match (input, comb)");
+  }
+  const std::size_t n = cells.size();
+  const std::size_t total = plan.num_cells();
+  ws.acc.Resize(n);
+  ws.gbase.Resize(n);
+  ws.gstep.Resize(n);
+  ws.total.re.assign(n, 0.0);
+  ws.total.im.assign(n, 0.0);
+  for (std::size_t j = 0; j < antennas; ++j) {
+    // Gather the subset's rotors into contiguous scratch; the walk itself
+    // then runs the same dispatched kernels as the full-grid path.
+    const double* b_re = plan.base_re(j);
+    const double* b_im = plan.base_im(j);
+    const double* s_re = plan.step_re(j);
+    const double* s_im = plan.step_im(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t cell = cells[i];
+      if (cell >= total) {
+        throw std::invalid_argument(
+            "JointLikelihoodCellsInto: cell index out of range");
+      }
+      ws.gbase.re[i] = b_re[cell];
+      ws.gbase.im[i] = b_im[cell];
+      ws.gstep.re[i] = s_re[cell];
+      ws.gstep.im[i] = s_im[cell];
+    }
+    WalkComb(ws.gbase.re.data(), ws.gbase.im.data(), ws.gstep.re.data(),
+             ws.gstep.im.data(), ws.dense[j], ws, n);
+    const double* __restrict acc_re = ws.acc.re.data();
+    const double* __restrict acc_im = ws.acc.im.data();
+    double* __restrict tot_re = ws.total.re.data();
+    double* __restrict tot_im = ws.total.im.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      tot_re[i] += acc_re[i];
+      tot_im[i] += acc_im[i];
+    }
+  }
+  const double* tot_re = ws.total.re.data();
+  const double* tot_im = ws.total.im.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::hypot(tot_re[i], tot_im[i]);
+  }
+}
+
+void JointLikelihoodSpansInto(const SpectraInput& input,
+                              const SteeringPlan& plan,
+                              std::span<const CellSpan> spans,
+                              double* out, SpectraWorkspace& ws) {
+  const std::size_t antennas = detail::EffectiveAntennas(input);
+  detail::BuildComb(input, antennas, ws);
+  if (!Matches(plan.key(), input, plan.key().grid, ws.comb_f0, ws.comb_step,
+               antennas)) {
+    throw std::invalid_argument(
+        "steering plan does not match (input, comb)");
+  }
+  const std::size_t total = plan.num_cells();
+  std::size_t n = 0;
+  for (const CellSpan& sp : spans) {
+    if (sp.begin > total || sp.length > total - sp.begin) {
+      throw std::invalid_argument(
+          "JointLikelihoodSpansInto: span out of range");
+    }
+    n += sp.length;
+  }
+  ws.acc.Resize(n);
+  ws.total.re.assign(n, 0.0);
+  ws.total.im.assign(n, 0.0);
+  const dsp::simd::Kernels& kernels = dsp::simd::Active();
+  for (std::size_t j = 0; j < antennas; ++j) {
+    const double* comb =
+        reinterpret_cast<const double*>(ws.dense[j].data());
+    const double* b_re = plan.base_re(j);
+    const double* b_im = plan.base_im(j);
+    const double* s_re = plan.step_re(j);
+    const double* s_im = plan.step_im(j);
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < spans.size(); ++k) {
+      const CellSpan& sp = spans[k];
+      if (k + 1 < spans.size()) {
+        // The walk kernel front-loads its reads (rotors stream into
+        // registers block by block), so each span start is a cold restart
+        // for the hardware prefetcher when the plan spills past L2.
+        // Touch the next span's rotor lines while this one computes.
+        const CellSpan& nx = spans[k + 1];
+        const std::size_t bytes = nx.length * sizeof(double);
+        for (std::size_t p = 0; p < bytes; p += 64) {
+          __builtin_prefetch(
+              reinterpret_cast<const char*>(b_re + nx.begin) + p);
+          __builtin_prefetch(
+              reinterpret_cast<const char*>(b_im + nx.begin) + p);
+          __builtin_prefetch(
+              reinterpret_cast<const char*>(s_re + nx.begin) + p);
+          __builtin_prefetch(
+              reinterpret_cast<const char*>(s_im + nx.begin) + p);
+        }
+      }
+      kernels.walk(comb, ws.comb_steps, b_re + sp.begin, b_im + sp.begin,
+                   s_re + sp.begin, s_im + sp.begin, ws.acc.re.data() + off,
+                   ws.acc.im.data() + off, sp.length);
+      off += sp.length;
+    }
+    const double* __restrict acc_re = ws.acc.re.data();
+    const double* __restrict acc_im = ws.acc.im.data();
+    double* __restrict tot_re = ws.total.re.data();
+    double* __restrict tot_im = ws.total.im.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      tot_re[i] += acc_re[i];
+      tot_im[i] += acc_im[i];
+    }
+  }
+  const double* tot_re = ws.total.re.data();
+  const double* tot_im = ws.total.im.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::hypot(tot_re[i], tot_im[i]);
+  }
+}
+
 void DistanceOnlyMapInto(const SpectraInput& input, const SteeringPlan& plan,
                          dsp::Grid2D& grid, SpectraWorkspace& ws) {
   const std::size_t antennas = detail::EffectiveAntennas(input);
   detail::BuildComb(input, antennas, ws);
   CheckPlan(input, plan, grid, ws, antennas);
   const std::size_t cells = plan.num_cells();
-  ws.cur.Resize(cells);
   ws.acc.Resize(cells);
   grid.Fill(0.0);
   double* out = grid.data().data();

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -236,6 +237,80 @@ TEST(KeepMap, SharedMapSurvivesLaterRounds) {
   ASSERT_NE(second.fused_map, nullptr);
   EXPECT_NE(first.fused_map.get(), second.fused_map.get());
   EXPECT_EQ(first.fused_map->data(), snapshot);
+}
+
+/// Subset evaluation (the coarse search's primitive) must reproduce the
+/// full-grid values bit for bit, in whatever order the cells arrive.
+TEST(SteeringPlan, CellSubsetBitIdenticalToFullMap) {
+  std::mt19937 rng(41);
+  const RandomScene s = MakeRandomScene(rng);
+  const SpectraInput input = s.Input();
+  const SteeringPlan plan(MakeSteeringPlanKey(input, s.grid));
+
+  SpectraWorkspace ws;
+  dsp::Grid2D full(s.grid);
+  JointLikelihoodMapInto(input, plan, full, ws);
+
+  std::vector<std::uint32_t> cells;
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(plan.num_cells() - 1));
+  for (int i = 0; i < 64; ++i) cells.push_back(pick(rng));
+  std::shuffle(cells.begin(), cells.end(), rng);
+
+  std::vector<double> out(cells.size());
+  JointLikelihoodCellsInto(input, plan, cells, out.data(), ws);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(out[i], full.data()[cells[i]]) << "cell " << cells[i];
+  }
+
+  const std::vector<std::uint32_t> bad = {
+      static_cast<std::uint32_t>(plan.num_cells())};
+  double scratch = 0.0;
+  EXPECT_THROW(JointLikelihoodCellsInto(input, plan, bad, &scratch, ws),
+               std::invalid_argument);
+}
+
+TEST(SteeringPlanCache, EvictsLeastRecentlyUsedAtPlanLimit) {
+  std::mt19937 rng(29);
+  SteeringPlanCache cache({.max_plans = 2});
+  const RandomScene a = MakeRandomScene(rng);
+  const RandomScene b = MakeRandomScene(rng);
+  const RandomScene c = MakeRandomScene(rng);
+
+  const auto pa = cache.GetOrBuild(MakeSteeringPlanKey(a.Input(), a.grid));
+  cache.GetOrBuild(MakeSteeringPlanKey(b.Input(), b.grid));
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch `a` so `b` becomes the LRU, then overflow with `c`.
+  cache.GetOrBuild(MakeSteeringPlanKey(a.Input(), a.grid));
+  cache.GetOrBuild(MakeSteeringPlanKey(c.Input(), c.grid));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.builds(), 3u);
+
+  // `a` survived the eviction (same instance), `b` did not (rebuild).
+  EXPECT_EQ(cache.GetOrBuild(MakeSteeringPlanKey(a.Input(), a.grid)).get(),
+            pa.get());
+  EXPECT_EQ(cache.builds(), 3u);
+  cache.GetOrBuild(MakeSteeringPlanKey(b.Input(), b.grid));
+  EXPECT_EQ(cache.builds(), 4u);
+}
+
+TEST(SteeringPlanCache, ByteBudgetBoundsResidency) {
+  std::mt19937 rng(31);
+  const RandomScene a = MakeRandomScene(rng);
+  const RandomScene b = MakeRandomScene(rng);
+  const auto ka = MakeSteeringPlanKey(a.Input(), a.grid);
+  const auto kb = MakeSteeringPlanKey(b.Input(), b.grid);
+  const std::size_t bytes_a = SteeringPlan(ka).MemoryBytes();
+
+  // Budget fits one plan, not two: the second build evicts the first, but
+  // the most recent plan is always retained (the pipeline needs one).
+  SteeringPlanCache cache({.max_plans = 64, .max_bytes = bytes_a});
+  cache.GetOrBuild(ka);
+  EXPECT_EQ(cache.bytes(), bytes_a);
+  cache.GetOrBuild(kb);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), std::max(bytes_a, SteeringPlan(kb).MemoryBytes()));
 }
 
 TEST(DistanceOnlyMap, CacheReusesPlans) {
