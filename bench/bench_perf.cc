@@ -24,6 +24,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -34,6 +36,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "serve/service.h"
+#include "stats.h"
 #include "bloc/corrected_channel.h"
 #include "dsp/complex_ops.h"
 #include "bloc/engine.h"
@@ -649,6 +653,393 @@ ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Soak mode (--mode=soak): thousands of simulated concurrent tags replay
+// dataset rounds through serve::LocalizationService over producer threads,
+// sweeping tag count x shard count x producer threads. Reports rounds/sec
+// (bench::Stats over K reps) and p50/p99/p999 end-to-end latency from the
+// serve.e2e_latency_us histogram, plus a single-mutex net::Collector
+// baseline; every position is checked bit-identical to the serial engine.
+
+struct SoakConfig {
+  std::vector<std::size_t> tags{1000};
+  std::vector<std::size_t> shards{1, 8, 64};
+  std::vector<std::size_t> producers{4};
+  std::size_t rounds_per_tag = 2;
+  std::size_t reps = 3;
+  std::size_t warmup = 1;
+  std::size_t dataset_locations = 16;
+  serve::ShedPolicy shed_policy = serve::ShedPolicy::kShedOldest;
+};
+
+struct SoakPoint {
+  std::size_t tags = 0;
+  std::size_t shards = 0;
+  std::size_t producers = 0;
+  bloc::bench::Stats rounds_per_sec;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t retries = 0;  // producer pushes bounced by backpressure
+  serve::ServiceCounters counters;
+  std::uint64_t updates = 0;
+  std::uint64_t lost_rounds = 0;
+  std::uint64_t parity_mismatches = 0;
+  std::uint64_t order_violations = 0;
+};
+
+struct SoakResult {
+  std::size_t rounds_per_tag = 0;
+  std::vector<SoakPoint> points;
+  bloc::bench::Stats baseline_rounds_per_sec;
+  std::size_t baseline_tags = 0;
+  /// Best service mean over points at the baseline tag count / baseline.
+  double throughput_ratio = 0.0;
+  std::uint64_t total_lost = 0;
+  std::uint64_t total_mismatches = 0;
+  std::uint64_t total_order_violations = 0;
+  std::uint64_t total_shed = 0;
+  std::uint64_t total_expired = 0;
+  std::uint64_t total_duplicates = 0;
+  double worst_p99_us = 0.0;
+};
+
+using HistBuckets = std::array<std::uint64_t, obs::Histogram::kBuckets>;
+
+HistBuckets SnapshotBuckets(const obs::Histogram& hist) {
+  HistBuckets out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = hist.BucketCount(i);
+  return out;
+}
+
+/// Quantile over the samples recorded between two bucket snapshots of one
+/// cumulative registry histogram (linear interpolation inside the bucket,
+/// like obs::Histogram::Quantile but scoped to this sweep point).
+double QuantileFromDelta(const HistBuckets& before, const HistBuckets& after,
+                         double q) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const std::uint64_t count = after[i] - before[i];
+    if (count == 0) continue;
+    if (cum + static_cast<double>(count) >= target) {
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(count), 0.0, 1.0);
+      const double lo =
+          static_cast<double>(obs::Histogram::BucketLowerBound(i));
+      const double hi = static_cast<double>(
+          std::min(obs::Histogram::BucketUpperBound(i),
+                   obs::Histogram::BucketLowerBound(i) * 2 + 1));
+      return lo + frac * (hi - lo);
+    }
+    cum += static_cast<double>(count);
+  }
+  return static_cast<double>(obs::Histogram::BucketUpperBound(after.size()));
+}
+
+/// One load-generation pass: `producers` threads push every frame of every
+/// tag's rounds (retrying refused pushes, so backpressure never loses a
+/// frame and per-tag FIFO order holds), then the service drains. Returns
+/// elapsed seconds.
+double RunSoakPass(serve::LocalizationService& service,
+                   const sim::Dataset& dataset,
+                   const std::vector<std::vector<std::size_t>>& picks,
+                   std::size_t producers, std::size_t rounds_per_tag,
+                   std::atomic<std::uint64_t>& retries) {
+  const std::size_t tags = picks.size();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      std::uint64_t local_retries = 0;
+      // Round-major order: every tag of this producer has round k in
+      // flight before round k+1 starts, so assembly runs with thousands
+      // of concurrent partial rounds — the multi-tenant steady state.
+      for (std::size_t k = 0; k < rounds_per_tag; ++k) {
+        for (std::size_t t = p; t < tags; t += producers) {
+          const net::MeasurementRound& src = dataset.rounds[picks[t][k]];
+          for (const anchor::CsiReport& report : src.reports) {
+            anchor::CsiReport frame = report;
+            frame.round_id = k;  // round ids are per-tag in the service
+            while (!service.Ingest(t, frame)) {
+              ++local_retries;
+              std::this_thread::yield();
+            }
+          }
+        }
+      }
+      retries.fetch_add(local_retries, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (!service.Drain(std::chrono::milliseconds(600000))) {
+    throw std::runtime_error("soak: service did not drain");
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The pre-sharding architecture as a baseline: every producer funnels into
+/// one net::Collector (single mutex), one consumer localizes rounds in
+/// global-id order on the same 1-thread engine. Same tags, same frames.
+double RunBaselinePass(core::LocalizationEngine& engine,
+                       const sim::Dataset& dataset,
+                       const std::vector<std::vector<std::size_t>>& picks,
+                       std::size_t producers, std::size_t rounds_per_tag) {
+  const std::size_t tags = picks.size();
+  const std::size_t total = tags * rounds_per_tag;
+  net::Collector collector(
+      net::Collector::Options{.max_pending_rounds = total + 8});
+  for (const core::AnchorPose& a : dataset.deployment.anchors) {
+    collector.OnMessage(net::AnchorHelloMsg{a.id, a.is_master});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    core::LocationResult sink;
+    for (std::size_t gid = 0; gid < total; ++gid) {
+      auto round = collector.WaitRound(gid, 600000);
+      if (!round) {
+        failed.store(true);
+        return;
+      }
+      sink = engine.Locate(*round);
+      benchmark::DoNotOptimize(sink);
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      for (std::size_t k = 0; k < rounds_per_tag; ++k) {
+        for (std::size_t t = p; t < tags; t += producers) {
+          const net::MeasurementRound& src = dataset.rounds[picks[t][k]];
+          for (const anchor::CsiReport& report : src.reports) {
+            anchor::CsiReport frame = report;
+            frame.round_id = t * rounds_per_tag + k;
+            collector.OnMessage(net::CsiReportMsg{std::move(frame)});
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  consumer.join();
+  if (failed.load()) throw std::runtime_error("soak: baseline round lost");
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Deterministic per-tag dataset-round picks: tag t's stream is
+/// Rng(seed).Fork({t}), so the workload is reproducible at any tag count.
+std::vector<std::vector<std::size_t>> MakePicks(std::size_t tags,
+                                                std::size_t rounds_per_tag,
+                                                std::size_t dataset_rounds) {
+  const dsp::Rng root(0x50AC);
+  std::vector<std::vector<std::size_t>> picks(tags);
+  for (std::size_t t = 0; t < tags; ++t) {
+    dsp::Rng rng = root.Fork({t});
+    picks[t].reserve(rounds_per_tag);
+    for (std::size_t k = 0; k < rounds_per_tag; ++k) {
+      picks[t].push_back(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(dataset_rounds) - 1)));
+    }
+  }
+  return picks;
+}
+
+SoakResult RunSoakSweep(const SoakConfig& config) {
+  std::cerr << "generating fig9 workload (" << config.dataset_locations
+            << " locations) for the soak sweep...\n";
+  sim::DatasetOptions options;
+  options.locations = config.dataset_locations;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+
+  std::cerr << "computing serial reference positions...\n";
+  core::LocalizationEngine reference_engine(dataset.deployment,
+                                            sim::PaperLocalizerConfig(dataset),
+                                            {.threads = 1});
+  const std::vector<core::LocationResult> reference =
+      reference_engine.LocateBatch(dataset.rounds);
+
+  SoakResult result;
+  result.rounds_per_tag = config.rounds_per_tag;
+  obs::Histogram& latency_hist = obs::GetHistogram("serve.e2e_latency_us");
+
+  std::cout << "\n=== multi-tenant soak (fig9 rounds, "
+            << config.rounds_per_tag << " rounds/tag, "
+            << config.warmup << "+" << config.reps << " passes) ===\n";
+  for (const std::size_t tags : config.tags) {
+    const std::vector<std::vector<std::size_t>> picks =
+        MakePicks(tags, config.rounds_per_tag, dataset.rounds.size());
+    for (const std::size_t shards : config.shards) {
+      for (const std::size_t producers : config.producers) {
+        serve::ServiceOptions so;
+        so.shards = shards;
+        so.assembler_threads = 1;
+        so.engine_threads = 1;
+        so.shed_policy = config.shed_policy;
+        serve::LocalizationService service(
+            dataset.deployment, sim::PaperLocalizerConfig(dataset), so);
+
+        // The callback runs on the single assembler thread; `delivered`
+        // needs no lock. Updates for one tag must arrive in round order
+        // and carry the serial engine's exact position.
+        std::atomic<std::uint64_t> updates{0};
+        std::atomic<std::uint64_t> mismatches{0};
+        std::atomic<std::uint64_t> order_violations{0};
+        std::vector<std::uint64_t> delivered(tags, 0);
+        service.SetUpdateCallback([&](const serve::PositionUpdate& u) {
+          updates.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t expected_round =
+              delivered[u.tag_id] % config.rounds_per_tag;
+          ++delivered[u.tag_id];
+          if (u.round_id != expected_round) {
+            order_violations.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          const core::LocationResult& ref =
+              reference[picks[u.tag_id][u.round_id]];
+          if (u.result.position.x != ref.position.x ||
+              u.result.position.y != ref.position.y ||
+              u.result.score != ref.score) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        service.Start();
+
+        const HistBuckets before = SnapshotBuckets(latency_hist);
+        std::atomic<std::uint64_t> retries{0};
+        const bloc::bench::Stats stats = bloc::bench::MeasureRepeated(
+            config.warmup, config.reps, [&] {
+              const double sec =
+                  RunSoakPass(service, dataset, picks, producers,
+                              config.rounds_per_tag, retries);
+              return static_cast<double>(tags * config.rounds_per_tag) / sec;
+            });
+        const HistBuckets after = SnapshotBuckets(latency_hist);
+        service.Stop();
+
+        SoakPoint point;
+        point.tags = tags;
+        point.shards = service.shard_count();
+        point.producers = producers;
+        point.rounds_per_sec = stats;
+        point.p50_us = QuantileFromDelta(before, after, 0.50);
+        point.p99_us = QuantileFromDelta(before, after, 0.99);
+        point.p999_us = QuantileFromDelta(before, after, 0.999);
+        point.retries = retries.load();
+        point.counters = service.Counters();
+        point.updates = updates.load();
+        const std::uint64_t expected = (config.warmup + config.reps) * tags *
+                                       config.rounds_per_tag;
+        point.lost_rounds = expected - std::min<std::uint64_t>(
+                                           expected, point.updates);
+        point.parity_mismatches = mismatches.load();
+        point.order_violations = order_violations.load();
+        result.points.push_back(point);
+
+        result.total_lost += point.lost_rounds;
+        result.total_mismatches += point.parity_mismatches;
+        result.total_order_violations += point.order_violations;
+        result.total_shed += point.counters.shed_rounds;
+        result.total_expired += point.counters.expired_rounds;
+        result.total_duplicates += point.counters.duplicate_frames;
+        result.worst_p99_us = std::max(result.worst_p99_us, point.p99_us);
+
+        std::cout << "  tags=" << tags << " shards=" << point.shards
+                  << " producers=" << producers << "  "
+                  << stats.mean << " rounds/sec (stddev " << stats.stddev
+                  << ")  p50=" << point.p50_us / 1e3
+                  << "ms p99=" << point.p99_us / 1e3
+                  << "ms p999=" << point.p999_us / 1e3 << "ms  lost="
+                  << point.lost_rounds << " mismatch="
+                  << point.parity_mismatches << " retries=" << point.retries
+                  << "\n";
+      }
+    }
+  }
+
+  // Baseline at the largest tag count, most producers.
+  result.baseline_tags = config.tags.back();
+  const std::size_t producers = config.producers.back();
+  const std::vector<std::vector<std::size_t>> picks = MakePicks(
+      result.baseline_tags, config.rounds_per_tag, dataset.rounds.size());
+  std::cerr << "running single-mutex Collector baseline...\n";
+  core::LocalizationEngine baseline_engine(dataset.deployment,
+                                           sim::PaperLocalizerConfig(dataset),
+                                           {.threads = 1});
+  result.baseline_rounds_per_sec = bloc::bench::MeasureRepeated(
+      config.warmup, config.reps, [&] {
+        const double sec = RunBaselinePass(baseline_engine, dataset, picks,
+                                           producers, config.rounds_per_tag);
+        return static_cast<double>(result.baseline_tags *
+                                   config.rounds_per_tag) /
+               sec;
+      });
+
+  double best_service = 0.0;
+  for (const SoakPoint& p : result.points) {
+    if (p.tags == result.baseline_tags) {
+      best_service = std::max(best_service, p.rounds_per_sec.mean);
+    }
+  }
+  if (result.baseline_rounds_per_sec.mean > 0.0) {
+    result.throughput_ratio =
+        best_service / result.baseline_rounds_per_sec.mean;
+  }
+  std::cout << "  baseline (single-mutex collector, tags="
+            << result.baseline_tags << ")  "
+            << result.baseline_rounds_per_sec.mean
+            << " rounds/sec  -> service/baseline throughput ratio x"
+            << result.throughput_ratio << "\n";
+  return result;
+}
+
+void WriteSoakJson(std::ostream& out, const SoakResult& soak) {
+  out << ",\n  \"soak\": {\n"
+      << "    \"rounds_per_tag\": " << soak.rounds_per_tag << ",\n"
+      << "    \"baseline_tags\": " << soak.baseline_tags << ",\n"
+      << "    \"baseline_rounds_per_sec\": ";
+  soak.baseline_rounds_per_sec.WriteJson(out);
+  out << ",\n    \"throughput_ratio\": " << soak.throughput_ratio << ",\n"
+      << "    \"total_lost\": " << soak.total_lost << ",\n"
+      << "    \"total_parity_mismatches\": " << soak.total_mismatches << ",\n"
+      << "    \"total_order_violations\": " << soak.total_order_violations
+      << ",\n"
+      << "    \"total_shed\": " << soak.total_shed << ",\n"
+      << "    \"total_expired\": " << soak.total_expired << ",\n"
+      << "    \"total_duplicates\": " << soak.total_duplicates << ",\n"
+      << "    \"worst_p99_us\": " << soak.worst_p99_us << ",\n"
+      << "    \"points\": [\n";
+  for (std::size_t i = 0; i < soak.points.size(); ++i) {
+    const SoakPoint& p = soak.points[i];
+    out << "      {\"tags\": " << p.tags << ", \"shards\": " << p.shards
+        << ", \"producers\": " << p.producers << ", \"rounds_per_sec\": ";
+    p.rounds_per_sec.WriteJson(out);
+    out << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+        << ", \"p999_us\": " << p.p999_us << ", \"retries\": " << p.retries
+        << ", \"admitted\": " << p.counters.admitted_frames
+        << ", \"refused\": " << p.counters.refused_frames
+        << ", \"shed\": " << p.counters.shed_rounds
+        << ", \"expired\": " << p.counters.expired_rounds
+        << ", \"duplicates\": " << p.counters.duplicate_frames
+        << ", \"localized\": " << p.counters.localized_rounds
+        << ", \"updates\": " << p.updates << ", \"lost\": " << p.lost_rounds
+        << ", \"parity_mismatches\": " << p.parity_mismatches
+        << ", \"order_violations\": " << p.order_violations << "}"
+        << (i + 1 < soak.points.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }";
+}
+
 void WriteSweepJson(const std::string& path,
                     const std::vector<SweepPoint>* sweep,
                     const KernelComparison* kernels,
@@ -657,6 +1048,7 @@ void WriteSweepJson(const std::string& path,
                     const DatasetSweep* dataset,
                     const ObsOverhead* obs_overhead,
                     const SearchComparison* search,
+                    const SoakResult* soak,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -697,6 +1089,7 @@ void WriteSweepJson(const std::string& path,
         << obs_overhead->disabled_ms_per_round
         << ", \"overhead_pct\": " << obs_overhead->overhead_pct << "}";
   }
+  if (soak != nullptr) WriteSoakJson(out, *soak);
   if (dataset != nullptr) {
     out << ",\n  \"dataset_store\": {\"locations\": " << dataset->locations
         << ", \"cold_generate_ms\": " << dataset->cold_generate_ms
@@ -741,12 +1134,26 @@ int main(int argc, char** argv) {
   // through bench::CommonFlags::TryParse like every other bench.
   std::string json_path;
   bloc::bench::CommonFlags common;
-  std::string mode = "all";  // all | localize | fullphy | dataset | obs | search
+  std::string mode = "all";  // all | localize | fullphy | dataset | obs |
+                             // search | soak
   std::size_t sweep_rounds = 8;
   std::size_t dataset_locations = 100;
   double obs_guard_pct = -1.0;  // <0: report only, no gate
   bool search_guard = false;
   bool run_micro = true;
+  SoakConfig soak_config;
+  bool soak_guard = false;
+  double soak_guard_p99_ms = -1.0;  // <0: no latency budget
+  const auto parse_csv = [](std::string_view v) {
+    std::vector<std::size_t> out;
+    while (!v.empty()) {
+      const std::size_t comma = v.find(',');
+      out.push_back(std::stoul(std::string(v.substr(0, comma))));
+      if (comma == std::string_view::npos) break;
+      v.remove_prefix(comma + 1);
+    }
+    return out;
+  };
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
@@ -763,13 +1170,45 @@ int main(int argc, char** argv) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
     } else if (arg.starts_with("--dataset-locations=")) {
       dataset_locations = std::stoul(std::string(arg.substr(20)));
+    } else if (arg.starts_with("--tags=")) {
+      soak_config.tags = parse_csv(arg.substr(7));
+    } else if (arg.starts_with("--shards=")) {
+      soak_config.shards = parse_csv(arg.substr(9));
+    } else if (arg.starts_with("--producers=")) {
+      soak_config.producers = parse_csv(arg.substr(12));
+    } else if (arg.starts_with("--rounds-per-tag=")) {
+      soak_config.rounds_per_tag = std::stoul(std::string(arg.substr(17)));
+    } else if (arg.starts_with("--soak-reps=")) {
+      soak_config.reps = std::stoul(std::string(arg.substr(12)));
+    } else if (arg.starts_with("--soak-warmup=")) {
+      soak_config.warmup = std::stoul(std::string(arg.substr(14)));
+    } else if (arg.starts_with("--soak-locations=")) {
+      soak_config.dataset_locations =
+          std::stoul(std::string(arg.substr(17)));
+    } else if (arg.starts_with("--shed-policy=")) {
+      const std::string_view policy = arg.substr(14);
+      if (policy == "shed-oldest") {
+        soak_config.shed_policy = bloc::serve::ShedPolicy::kShedOldest;
+      } else if (policy == "refuse-new") {
+        soak_config.shed_policy = bloc::serve::ShedPolicy::kRefuseNew;
+      } else {
+        std::cerr << "bench_perf: --shed-policy must be 'shed-oldest' or "
+                     "'refuse-new'\n";
+        return 1;
+      }
+    } else if (arg == "--soak-guard") {
+      soak_guard = true;
+    } else if (arg.starts_with("--soak-guard=")) {
+      soak_guard = true;
+      soak_guard_p99_ms = std::stod(std::string(arg.substr(13)));
     } else if (arg.starts_with("--mode=")) {
       mode = arg.substr(7);
       if (mode != "all" && mode != "localize" && mode != "fullphy" &&
-          mode != "dataset" && mode != "obs" && mode != "search") {
+          mode != "dataset" && mode != "obs" && mode != "search" &&
+          mode != "soak") {
         std::cerr << "bench_perf: unknown --mode=" << mode
-                  << " (expected all, localize, fullphy, dataset, obs or "
-                     "search)\n";
+                  << " (expected all, localize, fullphy, dataset, obs, "
+                     "search or soak)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -797,11 +1236,13 @@ int main(int argc, char** argv) {
   DatasetSweep dataset;
   ObsOverhead obs_overhead;
   SearchComparison search;
+  SoakResult soak;
   const bool run_localize = mode == "all" || mode == "localize";
   const bool run_fullphy = mode == "all" || mode == "fullphy";
   const bool run_dataset = mode == "all" || mode == "dataset";
   const bool run_obs = mode == "all" || mode == "obs";
   const bool run_search = mode == "all" || mode == "search";
+  const bool run_soak = mode == "soak";  // opt-in: minutes of load generation
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -813,6 +1254,7 @@ int main(int argc, char** argv) {
   if (run_search) search = RunSearchComparison(common.coarse_stride);
   if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
   if (run_obs) obs_overhead = RunObsOverheadCheck(sweep_rounds);
+  if (run_soak) soak = RunSoakSweep(soak_config);
   if (!json_path.empty()) {
     WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
                    run_localize ? &kernels : nullptr,
@@ -820,7 +1262,8 @@ int main(int argc, char** argv) {
                    run_fullphy ? &fullphy_sweep : nullptr,
                    run_dataset ? &dataset : nullptr,
                    run_obs ? &obs_overhead : nullptr,
-                   run_search ? &search : nullptr, sweep_rounds);
+                   run_search ? &search : nullptr,
+                   run_soak ? &soak : nullptr, sweep_rounds);
   }
   bloc::bench::FinishObservability(common);
   if (run_obs && obs_guard_pct >= 0.0 &&
@@ -835,6 +1278,46 @@ int main(int argc, char** argv) {
               << search.parity_mismatches << "/" << search.parity_rounds
               << " positions differing from exhaustive (--search-guard)\n";
     return 1;
+  }
+  if (run_soak && soak_guard) {
+    // SLO gate: every admitted frame localized exactly once (no loss, no
+    // shed, no expiry, no duplicates), every position bit-identical and in
+    // per-tag order, throughput no worse than half the single-mutex
+    // baseline, and p99 within the optional budget.
+    bool failed = false;
+    const auto fail = [&](const std::string& why) {
+      std::cerr << "bench_perf: soak SLO gate failed: " << why << "\n";
+      failed = true;
+    };
+    if (soak.total_lost > 0) {
+      fail(std::to_string(soak.total_lost) + " rounds lost");
+    }
+    if (soak.total_mismatches > 0) {
+      fail(std::to_string(soak.total_mismatches) + " position mismatches");
+    }
+    if (soak.total_order_violations > 0) {
+      fail(std::to_string(soak.total_order_violations) +
+           " per-tag order violations");
+    }
+    if (soak.total_shed > 0) fail(std::to_string(soak.total_shed) +
+                                  " rounds shed under a loss-free workload");
+    if (soak.total_expired > 0) {
+      fail(std::to_string(soak.total_expired) + " rounds expired");
+    }
+    if (soak.total_duplicates > 0) {
+      fail(std::to_string(soak.total_duplicates) + " duplicate frames");
+    }
+    if (soak.throughput_ratio < 0.5) {
+      fail("service/baseline throughput ratio " +
+           std::to_string(soak.throughput_ratio) + " below 0.5");
+    }
+    if (soak_guard_p99_ms >= 0.0 &&
+        soak.worst_p99_us > soak_guard_p99_ms * 1e3) {
+      fail("worst p99 " + std::to_string(soak.worst_p99_us / 1e3) +
+           " ms exceeds the " + std::to_string(soak_guard_p99_ms) +
+           " ms budget");
+    }
+    if (failed) return 1;
   }
   return 0;
 }

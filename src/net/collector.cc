@@ -15,6 +15,8 @@ struct CollectorMetrics {
   obs::Counter& csi_reports = obs::GetCounter("net.collector.csi_reports");
   obs::Counter& dropped_duplicates =
       obs::GetCounter("net.collector.dropped_duplicates");
+  obs::Counter& evicted_rounds =
+      obs::GetCounter("net.collector.evicted_rounds");
 
   static const CollectorMetrics& Get() {
     static const CollectorMetrics metrics;
@@ -55,13 +57,22 @@ void Collector::OnMessage(const Message& msg) {
   }
   if (const auto* report_msg = std::get_if<CsiReportMsg>(&msg)) {
     metrics.csi_reports.Inc();
-    auto& round = rounds_[report_msg->report.round_id];
+    const std::uint64_t round_id = report_msg->report.round_id;
+    if (options_.max_pending_rounds > 0 && !rounds_.contains(round_id) &&
+        rounds_.size() >= options_.max_pending_rounds) {
+      // Eviction horizon: drop the oldest (lowest-id) pending round so a
+      // slow consumer or a lossy anchor cannot grow the map without bound.
+      rounds_.erase(rounds_.begin());
+      evicted_rounds_.fetch_add(1, std::memory_order_relaxed);
+      metrics.evicted_rounds.Inc();
+    }
+    auto& round = rounds_[round_id];
     const auto dup = std::find_if(
         round.begin(), round.end(), [&](const anchor::CsiReport& r) {
           return r.anchor_id == report_msg->report.anchor_id;
         });
     if (dup != round.end()) {
-      ++dropped_duplicates_;
+      dropped_duplicates_.fetch_add(1, std::memory_order_relaxed);
       metrics.dropped_duplicates.Inc();
       return;
     }
@@ -86,16 +97,22 @@ bool Collector::RoundComplete(std::uint64_t round_id) const {
          it->second.size() >= anchors_.size();
 }
 
+MeasurementRound Collector::ExtractRound(std::uint64_t round_id) {
+  const auto it = rounds_.find(round_id);
+  MeasurementRound round;
+  round.round_id = round_id;
+  round.reports = std::move(it->second);
+  rounds_.erase(it);
+  return round;
+}
+
 std::optional<MeasurementRound> Collector::WaitRound(std::uint64_t round_id,
                                                      int timeout_ms) {
   std::unique_lock lock(mutex_);
   const bool ok = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                                [&] { return RoundComplete(round_id); });
   if (!ok) return std::nullopt;
-  MeasurementRound round;
-  round.round_id = round_id;
-  round.reports = rounds_[round_id];
-  return round;
+  return ExtractRound(round_id);
 }
 
 std::optional<MeasurementRound> Collector::TryGetRound(
@@ -106,6 +123,17 @@ std::optional<MeasurementRound> Collector::TryGetRound(
   round.round_id = round_id;
   round.reports = rounds_.at(round_id);
   return round;
+}
+
+std::optional<MeasurementRound> Collector::TakeRound(std::uint64_t round_id) {
+  std::lock_guard lock(mutex_);
+  if (!RoundComplete(round_id)) return std::nullopt;
+  return ExtractRound(round_id);
+}
+
+std::size_t Collector::pending_rounds() const {
+  std::lock_guard lock(mutex_);
+  return rounds_.size();
 }
 
 }  // namespace bloc::net

@@ -48,11 +48,26 @@ LocationEstimateMsg DecodeEstimate(WireReader& r) {
   return m;
 }
 
+void EncodeBody(const TagCsiReportMsg& m, WireWriter& w) {
+  w.U64(m.tag_id);
+  EncodeCsiReport(m.report, w);
+}
+
+TagCsiReportMsg DecodeTagReport(WireReader& r) {
+  TagCsiReportMsg m;
+  m.tag_id = r.U64();
+  m.report = DecodeCsiReport(r);
+  return m;
+}
+
 MessageType TypeOf(const Message& msg) {
   if (std::holds_alternative<AnchorHelloMsg>(msg)) {
     return MessageType::kAnchorHello;
   }
   if (std::holds_alternative<CsiReportMsg>(msg)) return MessageType::kCsiReport;
+  if (std::holds_alternative<TagCsiReportMsg>(msg)) {
+    return MessageType::kTagCsiReport;
+  }
   return MessageType::kLocationEstimate;
 }
 
@@ -139,6 +154,9 @@ std::size_t DecodeFrame(std::span<const std::uint8_t> data,
       break;
     case MessageType::kLocationEstimate:
       out = DecodeEstimate(body);
+      break;
+    case MessageType::kTagCsiReport:
+      out = DecodeTagReport(body);
       break;
     default:
       throw WireError("frame: unknown message type");

@@ -24,6 +24,7 @@ enum class MessageType : std::uint16_t {
   kAnchorHello = 1,
   kCsiReport = 2,
   kLocationEstimate = 3,
+  kTagCsiReport = 4,
 };
 
 struct AnchorHelloMsg {
@@ -46,8 +47,16 @@ struct LocationEstimateMsg {
   double score = 0.0;
 };
 
-using Message =
-    std::variant<AnchorHelloMsg, CsiReportMsg, LocationEstimateMsg>;
+/// Multi-tenant report: a CsiReport attributed to one of many tags sharing
+/// the anchor infrastructure (serve/service.h routes it by tag id; the
+/// report's own round_id scopes the round within that tag's session).
+struct TagCsiReportMsg {
+  std::uint64_t tag_id = 0;
+  anchor::CsiReport report;
+};
+
+using Message = std::variant<AnchorHelloMsg, CsiReportMsg, LocationEstimateMsg,
+                             TagCsiReportMsg>;
 
 /// Body codec for one CsiReport, shared by the kCsiReport frame payload and
 /// the dataset file format (sim/dataset_io.h). Decoding validates length

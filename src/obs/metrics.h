@@ -278,7 +278,24 @@ class Histogram {
   std::uint64_t Count() const noexcept { return 0; }
   std::uint64_t Sum() const noexcept { return 0; }
   std::uint64_t MaxValue() const noexcept { return 0; }
+  std::uint64_t BucketCount(std::size_t) const noexcept { return 0; }
   double Quantile(double) const noexcept { return 0.0; }
+  static std::uint64_t BucketLowerBound(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t BucketUpperBound(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+  static std::size_t BucketIndex(std::uint64_t value) noexcept {
+    std::size_t i = 0;
+    while (value != 0) {
+      ++i;
+      value >>= 1;
+    }
+    return i < kBuckets ? i : kBuckets - 1;
+  }
 };
 
 class ScopedTimer {

@@ -83,7 +83,7 @@ StreamedExperiment StreamExperiment(const ScenarioConfig& config,
     for (const anchor::CsiReport& report : produced.reports) {
       transport.Send(net::CsiReportMsg{report});
     }
-    auto round = collector.TryGetRound(i);
+    auto round = collector.TakeRound(i);
     if (!round) {
       throw std::runtime_error("StreamExperiment: round did not complete");
     }

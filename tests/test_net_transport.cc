@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "net/collector.h"
@@ -86,6 +89,13 @@ TEST(TcpTransport, EndToEndOverLoopback) {
   TcpTransport anchor2("127.0.0.1", server.port());
   anchor1.Send(MakeHello(1, true));
   anchor2.Send(MakeHello(2, false));
+  // The two connections are ordered independently: wait until both hellos
+  // registered, or a report racing ahead of the other anchor's hello would
+  // "complete" the round with one report.
+  for (int i = 0; i < 1000 && collector.Anchors().size() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(collector.Anchors().size(), 2u);
   anchor1.Send(CsiReportMsg{MakeReport(1, 0, true)});
   anchor2.Send(CsiReportMsg{MakeReport(2, 0, false)});
 
@@ -109,6 +119,87 @@ TEST(TcpTransport, ManyMessagesOneConnection) {
   ASSERT_TRUE(last.has_value());
   EXPECT_EQ(last->reports.size(), 1u);
   server.Stop();
+}
+
+TEST(Collector, WaitRoundConsumesAndTakeRoundDrains) {
+  Collector collector;
+  InProcTransport anchor(collector);
+  anchor.Send(MakeHello(1, true));
+  anchor.Send(CsiReportMsg{MakeReport(1, 0, true)});
+  anchor.Send(CsiReportMsg{MakeReport(1, 1, true)});
+  EXPECT_EQ(collector.pending_rounds(), 2u);
+
+  // TryGetRound is a peek: the round stays pending.
+  ASSERT_TRUE(collector.TryGetRound(0).has_value());
+  EXPECT_EQ(collector.pending_rounds(), 2u);
+
+  // WaitRound consumes its round.
+  ASSERT_TRUE(collector.WaitRound(0, 1000).has_value());
+  EXPECT_EQ(collector.pending_rounds(), 1u);
+  EXPECT_FALSE(collector.TryGetRound(0).has_value());
+
+  // TakeRound consumes without blocking; a second take finds nothing.
+  ASSERT_TRUE(collector.TakeRound(1).has_value());
+  EXPECT_FALSE(collector.TakeRound(1).has_value());
+  EXPECT_EQ(collector.pending_rounds(), 0u);
+}
+
+TEST(Collector, EvictionHorizonBoundsPendingRounds) {
+  Collector collector(Collector::Options{.max_pending_rounds = 2});
+  InProcTransport anchor(collector);
+  anchor.Send(MakeHello(1, true));
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    anchor.Send(CsiReportMsg{MakeReport(1, r, true)});
+  }
+  // Rounds 0..2 were evicted (lowest id first) to admit 3 and 4.
+  EXPECT_EQ(collector.pending_rounds(), 2u);
+  EXPECT_EQ(collector.evicted_rounds(), 3u);
+  EXPECT_FALSE(collector.TryGetRound(0).has_value());
+  EXPECT_TRUE(collector.TryGetRound(3).has_value());
+  EXPECT_TRUE(collector.TryGetRound(4).has_value());
+
+  // A late report for an evicted round re-opens it, evicting the oldest
+  // survivor -- the horizon holds regardless of arrival order.
+  anchor.Send(CsiReportMsg{MakeReport(1, 0, true)});
+  EXPECT_EQ(collector.pending_rounds(), 2u);
+  EXPECT_EQ(collector.evicted_rounds(), 4u);
+}
+
+TEST(Collector, ConsumingStreamStaysBounded) {
+  Collector collector(Collector::Options{.max_pending_rounds = 8});
+  InProcTransport anchor(collector);
+  anchor.Send(MakeHello(1, true));
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    anchor.Send(CsiReportMsg{MakeReport(1, r, true)});
+    ASSERT_TRUE(collector.TakeRound(r).has_value()) << "round " << r;
+    ASSERT_LE(collector.pending_rounds(), 8u);
+  }
+  EXPECT_EQ(collector.evicted_rounds(), 0u);
+}
+
+// Regression test for the data race on dropped_duplicates(): a reader
+// polling the counter while OnMessage storms duplicates. Run under TSan
+// (BLOC_TSAN) this fails on the pre-atomic implementation.
+TEST(Collector, DuplicateCounterIsReadableDuringIngest) {
+  Collector collector;
+  InProcTransport anchor(collector);
+  anchor.Send(MakeHello(1, true));
+
+  std::atomic<bool> stop{false};
+  std::size_t last = 0;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t now = collector.dropped_duplicates();
+      EXPECT_GE(now, last);  // monotone under concurrent ingest
+      last = now;
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    anchor.Send(CsiReportMsg{MakeReport(1, 7, true)});  // same round+anchor
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(collector.dropped_duplicates(), 4999u);
 }
 
 TEST(TcpTransport, ConnectFailureThrows) {
