@@ -11,10 +11,15 @@
 // --json=PATH to dump everything as machine-readable JSON (the perf
 // trajectory baseline), --sweep-rounds=N to size the batch, --no-micro to
 // skip the google-benchmark section, --mode=localize|fullphy|dataset|obs|
-// search to run one sweep family only. The search sweep compares the
-// exhaustive and coarse-to-fine likelihood searches (ms per fused map) and
-// audits position parity across the whole dataset; --search-guard turns the
-// audit into a regression gate (exit 1 on any position mismatch).
+// search|track|soak to run one sweep family only. The search sweep compares
+// the exhaustive and coarse-to-fine likelihood searches (ms per fused map)
+// and audits position parity across the whole dataset; --search-guard turns
+// the audit into a regression gate (exit 1 on any position mismatch). The
+// track sweep runs a moving tag through the TrackedLocalizer, gated coarse
+// search vs ungated (--track-parity gates the gating-off bit-parity audit);
+// --mode=soak --wire swaps the in-process soak for a TCP-loopback smoke.
+// Repeated sweeps report bench::Stats (min/p50/stddev over warmup+reps) so
+// regressions can be told from run-to-run noise.
 //
 // The obs sweep measures the metrics substrate itself: fig9 LocateBatch
 // with metric recording enabled vs runtime-disabled. --obs-guard=PCT turns
@@ -36,8 +41,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/transport.h"
 #include "serve/service.h"
 #include "stats.h"
+#include "track/tracked_localizer.h"
 #include "bloc/corrected_channel.h"
 #include "dsp/complex_ops.h"
 #include "bloc/engine.h"
@@ -319,6 +326,8 @@ struct FullPhyComparison {
   double reference_ms_per_round = 0.0;
   double planned_ms_per_round = 0.0;
   double speedup = 0.0;
+  bloc::bench::Stats reference_stats;
+  bloc::bench::Stats planned_stats;
 };
 
 /// Times full-PHY measurement rounds (ms/round) on the given simulator,
@@ -352,21 +361,31 @@ FullPhyComparison RunFullPhyComparison() {
   sim::MeasurementSimulator simulator(testbed, 1);
   const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(4);
 
+  // Each bench::Stats sample is one multi-round timing window; the reported
+  // scalar is the min (scheduler noise only ever adds time) and the spread
+  // goes to the JSON so regressions can be told from noise.
   FullPhyComparison cmp;
   simulator.UseReferenceFullPhy(true);
-  simulator.RunRound(positions[0], 0);  // warm-up
-  cmp.reference_ms_per_round = TimeFullPhyRounds(simulator, positions, 2.0);
+  cmp.reference_stats = bloc::bench::MeasureRepeated(1, 3, [&] {
+    return TimeFullPhyRounds(simulator, positions, 1.0);
+  });
   simulator.UseReferenceFullPhy(false);
-  simulator.RunRound(positions[0], 0);  // warm-up
-  cmp.planned_ms_per_round = TimeFullPhyRounds(simulator, positions, 2.0);
+  cmp.planned_stats = bloc::bench::MeasureRepeated(1, 3, [&] {
+    return TimeFullPhyRounds(simulator, positions, 1.0);
+  });
+  cmp.reference_ms_per_round = cmp.reference_stats.min;
+  cmp.planned_ms_per_round = cmp.planned_stats.min;
   cmp.speedup = cmp.reference_ms_per_round / cmp.planned_ms_per_round;
 
   std::cout << "\n=== full-PHY measurement stage (fig9 workload, 1 thread) "
                "===\n"
             << "  reference kernels  " << cmp.reference_ms_per_round
-            << " ms/round\n"
+            << " ms/round (p50 " << cmp.reference_stats.p50 << ", stddev "
+            << cmp.reference_stats.stddev << ")\n"
             << "  planned fast path  " << cmp.planned_ms_per_round
-            << " ms/round  (x" << cmp.speedup << " speedup)\n";
+            << " ms/round (p50 " << cmp.planned_stats.p50 << ", stddev "
+            << cmp.planned_stats.stddev << ")  (x" << cmp.speedup
+            << " speedup)\n";
   return cmp;
 }
 
@@ -405,6 +424,10 @@ struct DatasetSweep {
   double encode_ms = 0.0;
   double decode_ms = 0.0;
   double file_mb = 0.0;
+  bloc::bench::Stats cold_stats;
+  bloc::bench::Stats warm_stats;
+  bloc::bench::Stats encode_stats;
+  bloc::bench::Stats decode_stats;
 };
 
 /// The generate-once/replay-many regression check: a cold DatasetStore miss
@@ -430,43 +453,54 @@ DatasetSweep RunDatasetSweep(std::size_t locations) {
   DatasetSweep sweep;
   sweep.locations = locations;
   sim::Dataset dataset;
-  {
+  // Every cold sample starts from an empty store (remove_all keeps it a true
+  // miss); no warmup — the first cold pass IS the measurement of interest,
+  // and generation itself is deterministic.
+  sweep.cold_stats = bloc::bench::MeasureRepeated(0, 2, [&] {
+    fs::remove_all(dir);
     sim::DatasetStore store(dir);
     const auto start = std::chrono::steady_clock::now();
     dataset = store.GetOrGenerate(scenario, options);
-    sweep.cold_generate_ms = ms_since(start);
+    const double ms = ms_since(start);
     if (store.misses() != 1) std::cerr << "  warning: expected a cold miss\n";
-  }
-  {
+    return ms;
+  });
+  sweep.warm_stats = bloc::bench::MeasureRepeated(1, 5, [&] {
     sim::DatasetStore store(dir);
     const auto start = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(store.GetOrGenerate(scenario, options));
-    sweep.warm_load_ms = ms_since(start);
+    const double ms = ms_since(start);
     if (store.hits() != 1) std::cerr << "  warning: expected a warm hit\n";
-  }
+    return ms;
+  });
+  sweep.cold_generate_ms = sweep.cold_stats.min;
+  sweep.warm_load_ms = sweep.warm_stats.min;
   sweep.speedup = sweep.cold_generate_ms / sweep.warm_load_ms;
 
   net::Buffer bytes;
-  {
+  sweep.encode_stats = bloc::bench::MeasureRepeated(1, 5, [&] {
     const auto start = std::chrono::steady_clock::now();
     bytes = sim::EncodeDataset(dataset, fp);
-    sweep.encode_ms = ms_since(start);
-  }
-  {
+    return ms_since(start);
+  });
+  sweep.decode_stats = bloc::bench::MeasureRepeated(1, 5, [&] {
     const auto start = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(sim::DecodeDataset(bytes));
-    sweep.decode_ms = ms_since(start);
-  }
+    return ms_since(start);
+  });
+  sweep.encode_ms = sweep.encode_stats.min;
+  sweep.decode_ms = sweep.decode_stats.min;
   sweep.file_mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
   fs::remove_all(dir);
 
   std::cout << "\n=== dataset store (fig9 workload, " << locations
             << " locations) ===\n"
             << "  cold miss (synthesize+serialize+persist)  "
-            << sweep.cold_generate_ms << " ms\n"
+            << sweep.cold_generate_ms << " ms (stddev "
+            << sweep.cold_stats.stddev << ")\n"
             << "  warm hit (load+decode)                    "
-            << sweep.warm_load_ms << " ms  (x" << sweep.speedup
-            << " speedup)\n"
+            << sweep.warm_load_ms << " ms (stddev " << sweep.warm_stats.stddev
+            << ")  (x" << sweep.speedup << " speedup)\n"
             << "  codec: encode " << sweep.encode_ms << " ms, decode "
             << sweep.decode_ms << " ms, file " << sweep.file_mb << " MB\n";
   return sweep;
@@ -476,12 +510,16 @@ struct ObsOverhead {
   double enabled_ms_per_round = 0.0;
   double disabled_ms_per_round = 0.0;
   double overhead_pct = 0.0;
+  bloc::bench::Stats enabled_stats;
+  bloc::bench::Stats disabled_stats;
 };
 
 struct SearchComparison {
   double exhaustive_ms_per_map = 0.0;
   double coarse_ms_per_map = 0.0;
   double speedup = 0.0;
+  bloc::bench::Stats exhaustive_stats;
+  bloc::bench::Stats coarse_stats;
   std::size_t parity_rounds = 0;
   std::size_t parity_mismatches = 0;
   std::size_t fallback_rounds = 0;
@@ -542,19 +580,22 @@ SearchComparison RunSearchComparison(std::size_t coarse_stride) {
 
   SearchComparison cmp;
   {
-    // Alternate best-of-5 windows: a load spike then degrades one rep of
-    // both strategies instead of biasing whichever ran during it, and the
-    // minimum filters scheduler noise out of a percent-level comparison
-    // (same rationale as TimeBatchMs below).
+    // Alternating windows: a load spike degrades one rep of both strategies
+    // instead of biasing whichever ran during it. The scalar is the min
+    // (filters scheduler noise out of a percent-level comparison, same
+    // rationale as TimeBatchMs below); the full spread goes to the JSON.
     core::LocalizerWorkspace ews, cws;
-    cmp.exhaustive_ms_per_map = TimeMapStage(exhaustive, corrected, ews);
-    cmp.coarse_ms_per_map = TimeMapStage(coarse, corrected, cws);
-    for (int rep = 1; rep < 5; ++rep) {
-      cmp.exhaustive_ms_per_map = std::min(
-          cmp.exhaustive_ms_per_map, TimeMapStage(exhaustive, corrected, ews));
-      cmp.coarse_ms_per_map =
-          std::min(cmp.coarse_ms_per_map, TimeMapStage(coarse, corrected, cws));
+    std::vector<double> esamples, csamples;
+    TimeMapStage(exhaustive, corrected, ews);  // warmup: plans + pyramid
+    TimeMapStage(coarse, corrected, cws);
+    for (int rep = 0; rep < 5; ++rep) {
+      esamples.push_back(TimeMapStage(exhaustive, corrected, ews));
+      csamples.push_back(TimeMapStage(coarse, corrected, cws));
     }
+    cmp.exhaustive_stats = bloc::bench::Stats::Of(std::move(esamples));
+    cmp.coarse_stats = bloc::bench::Stats::Of(std::move(csamples));
+    cmp.exhaustive_ms_per_map = cmp.exhaustive_stats.min;
+    cmp.coarse_ms_per_map = cmp.coarse_stats.min;
   }
   cmp.speedup = cmp.exhaustive_ms_per_map / cmp.coarse_ms_per_map;
 
@@ -581,9 +622,12 @@ SearchComparison RunSearchComparison(std::size_t coarse_stride) {
   std::cout << "\n=== likelihood search (fig9 workload, 1 thread, fused "
                "4-anchor map) ===\n"
             << "  exhaustive search     " << cmp.exhaustive_ms_per_map
-            << " ms/map\n"
+            << " ms/map (p50 " << cmp.exhaustive_stats.p50 << ", stddev "
+            << cmp.exhaustive_stats.stddev << ")\n"
             << "  coarse-to-fine search " << cmp.coarse_ms_per_map
-            << " ms/map  (x" << cmp.speedup << " speedup)\n"
+            << " ms/map (p50 " << cmp.coarse_stats.p50 << ", stddev "
+            << cmp.coarse_stats.stddev << ")  (x" << cmp.speedup
+            << " speedup)\n"
             << "  parity: " << cmp.parity_mismatches << "/"
             << cmp.parity_rounds << " position mismatches, "
             << cmp.fallback_rounds << " fallbacks, "
@@ -635,10 +679,16 @@ ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
 
   ObsOverhead result;
   obs::SetMetricsEnabled(true);
-  result.enabled_ms_per_round = TimeBatchMs(engine, dataset, 3);
+  result.enabled_stats = bloc::bench::MeasureRepeated(
+      1, 5, [&] { return TimeBatchMs(engine, dataset, 1); });
   obs::SetMetricsEnabled(false);
-  result.disabled_ms_per_round = TimeBatchMs(engine, dataset, 3);
+  result.disabled_stats = bloc::bench::MeasureRepeated(
+      1, 5, [&] { return TimeBatchMs(engine, dataset, 1); });
   obs::SetMetricsEnabled(true);
+  // The overhead gate compares minima — both numbers carry only additive
+  // scheduler noise, and a percent-level comparison of means would flap.
+  result.enabled_ms_per_round = result.enabled_stats.min;
+  result.disabled_ms_per_round = result.disabled_stats.min;
   result.overhead_pct = 100.0 *
                         (result.enabled_ms_per_round -
                          result.disabled_ms_per_round) /
@@ -646,11 +696,148 @@ ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
 
   std::cout << "\n=== observability overhead (fig9 workload, 1 thread) ===\n"
             << "  metrics enabled   " << result.enabled_ms_per_round
-            << " ms/round\n"
+            << " ms/round (p50 " << result.enabled_stats.p50 << ", stddev "
+            << result.enabled_stats.stddev << ")\n"
             << "  metrics disabled  " << result.disabled_ms_per_round
-            << " ms/round\n"
+            << " ms/round (p50 " << result.disabled_stats.p50 << ", stddev "
+            << result.disabled_stats.stddev << ")\n"
             << "  overhead          " << result.overhead_pct << " %\n";
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Track mode (--mode=track): a moving tag (waypoint motion) localized
+// through one TrackedLocalizer session, gated coarse search vs ungated.
+// Reports ms/round (bench::Stats), the evaluated-cell fraction, and the
+// trajectory-error medians; --track-parity turns the gating-off raw-fix
+// parity audit into a regression gate (exit 1 on any mismatch).
+
+struct TrackComparison {
+  std::size_t rounds = 0;
+  bloc::bench::Stats ungated_ms_per_round;
+  bloc::bench::Stats gated_ms_per_round;
+  double speedup = 0.0;
+  std::size_t gated_rounds = 0;
+  std::size_t gate_misses = 0;
+  std::uint64_t cells_ungated = 0;
+  std::uint64_t cells_gated = 0;
+  /// Cells the gated pass evaluated / what the ungated coarse pass did.
+  double evaluated_fraction = 0.0;
+  double raw_median_m = 0.0;
+  double tracked_median_m = 0.0;
+  double gated_median_m = 0.0;
+  std::size_t parity_rounds = 0;
+  std::size_t parity_mismatches = 0;
+};
+
+TrackComparison RunTrackComparison(std::size_t locations,
+                                   std::size_t coarse_stride) {
+  std::cerr << "generating moving-tag workload (" << locations
+            << " rounds, waypoint motion) for the track sweep...\n";
+  sim::ScenarioConfig scenario = sim::PaperTestbed(1);
+  scenario.motion.model = sim::MotionModel::kWaypoint;
+  sim::DatasetOptions options;
+  options.locations = locations;
+  const sim::Dataset dataset = sim::GenerateDataset(scenario, options);
+
+  core::LocalizerConfig config = sim::PaperLocalizerConfig(dataset);
+  config.spectra.search.mode = core::SearchMode::kCoarseToFine;
+  if (coarse_stride > 0) config.spectra.search.coarse_stride = coarse_stride;
+  const core::Localizer localizer(dataset.deployment, config);
+
+  TrackComparison cmp;
+  cmp.rounds = dataset.rounds.size();
+
+  // One full-trajectory pass; fills the per-round outputs (deterministic, so
+  // keeping the last rep's copy is exact) and returns ms/round.
+  struct PassOut {
+    std::vector<geom::Vec2> raw, tracked;
+    std::uint64_t cells = 0;
+    std::size_t gated_rounds = 0, gate_misses = 0;
+  };
+  const auto run_pass = [&](bool gate, PassOut& out) {
+    track::TrackedLocalizerConfig tc;
+    tc.gate_search = gate;
+    track::TrackedLocalizer tracked(localizer, tc);
+    core::LocalizerWorkspace ws;
+    out = PassOut{};
+    out.raw.reserve(dataset.rounds.size());
+    out.tracked.reserve(dataset.rounds.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+      const track::TrackedFix fix =
+          tracked.Locate(dataset.rounds[i], dataset.timestamps[i], ws);
+      out.raw.push_back(fix.raw.position);
+      out.tracked.push_back(fix.tracked_position);
+      out.cells += ws.search.stats.cells_evaluated;
+    }
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    out.gated_rounds = tracked.gated_rounds();
+    out.gate_misses = tracked.gate_misses();
+    return 1e3 * sec / static_cast<double>(dataset.rounds.size());
+  };
+
+  PassOut ungated, gated;
+  cmp.ungated_ms_per_round = bloc::bench::MeasureRepeated(
+      1, 5, [&] { return run_pass(false, ungated); });
+  cmp.gated_ms_per_round = bloc::bench::MeasureRepeated(
+      1, 5, [&] { return run_pass(true, gated); });
+  cmp.speedup = cmp.ungated_ms_per_round.min / cmp.gated_ms_per_round.min;
+  cmp.cells_ungated = ungated.cells;
+  cmp.cells_gated = gated.cells;
+  cmp.gated_rounds = gated.gated_rounds;
+  cmp.gate_misses = gated.gate_misses;
+  if (ungated.cells > 0) {
+    cmp.evaluated_fraction = static_cast<double>(gated.cells) /
+                             static_cast<double>(ungated.cells);
+  }
+
+  // Parity audit: with gating off the tracker is a pure post-stage, so the
+  // raw fixes must match the engine pipeline bit for bit.
+  core::LocalizationEngine engine(dataset.deployment, config, {.threads = 1});
+  const std::vector<core::LocationResult> reference =
+      engine.LocateBatch(dataset.rounds);
+  cmp.parity_rounds = reference.size();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i].position.x != ungated.raw[i].x ||
+        reference[i].position.y != ungated.raw[i].y) {
+      ++cmp.parity_mismatches;
+    }
+  }
+
+  const auto median_err = [&](const std::vector<geom::Vec2>& est) {
+    std::vector<double> err;
+    err.reserve(est.size());
+    for (std::size_t i = 0; i < est.size(); ++i) {
+      err.push_back(geom::Distance(est[i], dataset.truths[i]));
+    }
+    return bloc::bench::Stats::Of(std::move(err)).p50;
+  };
+  cmp.raw_median_m = median_err(ungated.raw);
+  cmp.tracked_median_m = median_err(ungated.tracked);
+  cmp.gated_median_m = median_err(gated.tracked);
+
+  std::cout << "\n=== track-while-localize (waypoint trajectory, "
+            << cmp.rounds << " rounds, 1 thread) ===\n"
+            << "  ungated coarse  " << cmp.ungated_ms_per_round.min
+            << " ms/round (p50 " << cmp.ungated_ms_per_round.p50
+            << ", stddev " << cmp.ungated_ms_per_round.stddev << ")\n"
+            << "  gated coarse    " << cmp.gated_ms_per_round.min
+            << " ms/round (p50 " << cmp.gated_ms_per_round.p50 << ", stddev "
+            << cmp.gated_ms_per_round.stddev << ")  (x" << cmp.speedup
+            << " speedup)\n"
+            << "  gate: " << cmp.gated_rounds << "/" << cmp.rounds
+            << " rounds gated, " << cmp.gate_misses << " misses, "
+            << 100.0 * cmp.evaluated_fraction
+            << "% of ungated cells evaluated\n"
+            << "  median error: raw " << 100.0 * cmp.raw_median_m
+            << " cm, tracked " << 100.0 * cmp.tracked_median_m
+            << " cm, tracked+gated " << 100.0 * cmp.gated_median_m << " cm\n"
+            << "  parity (gating off): " << cmp.parity_mismatches << "/"
+            << cmp.parity_rounds << " raw-fix mismatches\n";
+  return cmp;
 }
 
 // ---------------------------------------------------------------------------
@@ -1003,6 +1190,141 @@ SoakResult RunSoakSweep(const SoakConfig& config) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Wire smoke (--mode=soak --wire): the same multi-tenant replay, but every
+// frame crosses a real loopback TCP socket — producer threads each hold a
+// TcpTransport connection sending TagCsiReportMsg frames into a TcpServer
+// that feeds the LocalizationService. Exercises encode -> socket -> frame
+// parse -> decode -> ingest end to end; positions are still checked
+// bit-identical to the serial engine and per-tag round order must hold.
+
+struct WireSmoke {
+  std::size_t tags = 0;
+  std::size_t rounds_per_tag = 0;
+  std::size_t producers = 0;
+  bloc::bench::Stats rounds_per_sec;
+  std::uint64_t updates = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t refused_frames = 0;
+  std::uint64_t parity_mismatches = 0;
+  std::uint64_t order_violations = 0;
+};
+
+WireSmoke RunWireSmoke(const SoakConfig& config) {
+  WireSmoke smoke;
+  smoke.tags = std::min<std::size_t>(config.tags.front(), 64);
+  smoke.rounds_per_tag = config.rounds_per_tag;
+  smoke.producers = config.producers.front();
+
+  std::cerr << "generating fig9 workload (" << config.dataset_locations
+            << " locations) for the wire smoke...\n";
+  sim::DatasetOptions options;
+  options.locations = config.dataset_locations;
+  const sim::Dataset dataset =
+      sim::GenerateDataset(sim::PaperTestbed(1), options);
+  core::LocalizationEngine reference_engine(dataset.deployment,
+                                            sim::PaperLocalizerConfig(dataset),
+                                            {.threads = 1});
+  const std::vector<core::LocationResult> reference =
+      reference_engine.LocateBatch(dataset.rounds);
+  const std::vector<std::vector<std::size_t>> picks =
+      MakePicks(smoke.tags, smoke.rounds_per_tag, dataset.rounds.size());
+
+  const std::uint64_t per_pass =
+      static_cast<std::uint64_t>(smoke.tags) * smoke.rounds_per_tag;
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> order_violations{0};
+
+  const auto pass = [&]() -> double {
+    serve::ServiceOptions so;
+    so.shards = 8;
+    so.assembler_threads = 1;
+    so.engine_threads = 1;
+    // The OnMessage path cannot retry a refused frame (TCP gives the sender
+    // no backpressure signal), so the rings are sized for the whole pass.
+    so.ring_capacity = smoke.tags * smoke.rounds_per_tag *
+                       dataset.deployment.anchors.size();
+    serve::LocalizationService service(
+        dataset.deployment, sim::PaperLocalizerConfig(dataset), so);
+    std::atomic<std::uint64_t> pass_updates{0};
+    std::vector<std::uint64_t> delivered(smoke.tags, 0);
+    service.SetUpdateCallback([&](const serve::PositionUpdate& u) {
+      updates.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t expected_round = delivered[u.tag_id];
+      ++delivered[u.tag_id];
+      if (u.round_id != expected_round) {
+        order_violations.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const core::LocationResult& ref =
+            reference[picks[u.tag_id][u.round_id]];
+        if (u.result.position.x != ref.position.x ||
+            u.result.position.y != ref.position.y) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      pass_updates.fetch_add(1, std::memory_order_release);
+    });
+    service.Start();
+    net::TcpServer server(service);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(smoke.producers);
+    for (std::size_t p = 0; p < smoke.producers; ++p) {
+      workers.emplace_back([&, p] {
+        net::TcpTransport client("127.0.0.1", server.port());
+        for (std::size_t k = 0; k < smoke.rounds_per_tag; ++k) {
+          for (std::size_t t = p; t < smoke.tags; t += smoke.producers) {
+            const net::MeasurementRound& src = dataset.rounds[picks[t][k]];
+            for (const anchor::CsiReport& report : src.reports) {
+              anchor::CsiReport frame = report;
+              frame.round_id = k;
+              client.Send(net::TagCsiReportMsg{t, std::move(frame)});
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    // The sockets may still be draining after the senders return; completion
+    // is "every expected update delivered", with a deadline so a lost frame
+    // fails the smoke instead of hanging it.
+    const auto deadline = start + std::chrono::seconds(120);
+    while (pass_updates.load(std::memory_order_acquire) < per_pass &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    server.Stop();
+    service.Stop();
+    smoke.expected += per_pass;
+    smoke.refused_frames += service.Counters().refused_frames;
+    return static_cast<double>(per_pass) / sec;
+  };
+
+  std::cout << "\n=== wire soak smoke (TCP loopback, tags=" << smoke.tags
+            << ", " << smoke.rounds_per_tag << " rounds/tag, "
+            << smoke.producers << " connections) ===\n";
+  smoke.rounds_per_sec =
+      bloc::bench::MeasureRepeated(config.warmup, config.reps, pass);
+  smoke.updates = updates.load();
+  smoke.lost = smoke.expected - std::min(smoke.expected, smoke.updates);
+  smoke.parity_mismatches = mismatches.load();
+  smoke.order_violations = order_violations.load();
+
+  std::cout << "  " << smoke.rounds_per_sec.mean << " rounds/sec (stddev "
+            << smoke.rounds_per_sec.stddev << ")  updates=" << smoke.updates
+            << "/" << smoke.expected << " lost=" << smoke.lost
+            << " refused=" << smoke.refused_frames
+            << " mismatch=" << smoke.parity_mismatches
+            << " order_violations=" << smoke.order_violations << "\n";
+  return smoke;
+}
+
 void WriteSoakJson(std::ostream& out, const SoakResult& soak) {
   out << ",\n  \"soak\": {\n"
       << "    \"rounds_per_tag\": " << soak.rounds_per_tag << ",\n"
@@ -1048,7 +1370,9 @@ void WriteSweepJson(const std::string& path,
                     const DatasetSweep* dataset,
                     const ObsOverhead* obs_overhead,
                     const SearchComparison* search,
+                    const TrackComparison* track,
                     const SoakResult* soak,
+                    const WireSmoke* wire,
                     std::size_t batch_rounds) {
   std::ofstream out(path);
   if (!out) {
@@ -1070,7 +1394,12 @@ void WriteSweepJson(const std::string& path,
     out << ",\n  \"fullphy_measurement\": {\"reference_ms_per_round\": "
         << fullphy->reference_ms_per_round
         << ", \"planned_ms_per_round\": " << fullphy->planned_ms_per_round
-        << ", \"speedup\": " << fullphy->speedup << "}";
+        << ", \"speedup\": " << fullphy->speedup
+        << ", \"reference_stats\": ";
+    fullphy->reference_stats.WriteJson(out);
+    out << ", \"planned_stats\": ";
+    fullphy->planned_stats.WriteJson(out);
+    out << "}";
   }
   if (search != nullptr) {
     out << ",\n  \"search\": {\"exhaustive_ms_per_map\": "
@@ -1080,16 +1409,59 @@ void WriteSweepJson(const std::string& path,
         << ", \"parity_rounds\": " << search->parity_rounds
         << ", \"parity_mismatches\": " << search->parity_mismatches
         << ", \"fallback_rounds\": " << search->fallback_rounds
-        << ", \"evaluated_fraction\": " << search->evaluated_fraction << "}";
+        << ", \"evaluated_fraction\": " << search->evaluated_fraction
+        << ", \"exhaustive_stats\": ";
+    search->exhaustive_stats.WriteJson(out);
+    out << ", \"coarse_stats\": ";
+    search->coarse_stats.WriteJson(out);
+    out << "}";
+  }
+  if (track != nullptr) {
+    out << ",\n  \"track\": {\"rounds\": " << track->rounds
+        << ", \"speedup\": " << track->speedup
+        << ", \"gated_rounds\": " << track->gated_rounds
+        << ", \"gate_misses\": " << track->gate_misses
+        << ", \"cells_ungated\": " << track->cells_ungated
+        << ", \"cells_gated\": " << track->cells_gated
+        << ", \"evaluated_fraction\": " << track->evaluated_fraction
+        << ", \"raw_median_m\": " << track->raw_median_m
+        << ", \"tracked_median_m\": " << track->tracked_median_m
+        << ", \"gated_median_m\": " << track->gated_median_m
+        << ", \"parity_rounds\": " << track->parity_rounds
+        << ", \"parity_mismatches\": " << track->parity_mismatches
+        << ", \"ungated_ms_per_round\": ";
+    track->ungated_ms_per_round.WriteJson(out);
+    out << ", \"gated_ms_per_round\": ";
+    track->gated_ms_per_round.WriteJson(out);
+    out << "}";
   }
   if (obs_overhead != nullptr) {
     out << ",\n  \"observability\": {\"enabled_ms_per_round\": "
         << obs_overhead->enabled_ms_per_round
         << ", \"disabled_ms_per_round\": "
         << obs_overhead->disabled_ms_per_round
-        << ", \"overhead_pct\": " << obs_overhead->overhead_pct << "}";
+        << ", \"overhead_pct\": " << obs_overhead->overhead_pct
+        << ", \"enabled_stats\": ";
+    obs_overhead->enabled_stats.WriteJson(out);
+    out << ", \"disabled_stats\": ";
+    obs_overhead->disabled_stats.WriteJson(out);
+    out << "}";
   }
   if (soak != nullptr) WriteSoakJson(out, *soak);
+  if (wire != nullptr) {
+    out << ",\n  \"soak_wire\": {\"tags\": " << wire->tags
+        << ", \"rounds_per_tag\": " << wire->rounds_per_tag
+        << ", \"producers\": " << wire->producers
+        << ", \"updates\": " << wire->updates
+        << ", \"expected\": " << wire->expected
+        << ", \"lost\": " << wire->lost
+        << ", \"refused_frames\": " << wire->refused_frames
+        << ", \"parity_mismatches\": " << wire->parity_mismatches
+        << ", \"order_violations\": " << wire->order_violations
+        << ", \"rounds_per_sec\": ";
+    wire->rounds_per_sec.WriteJson(out);
+    out << "}";
+  }
   if (dataset != nullptr) {
     out << ",\n  \"dataset_store\": {\"locations\": " << dataset->locations
         << ", \"cold_generate_ms\": " << dataset->cold_generate_ms
@@ -1097,7 +1469,16 @@ void WriteSweepJson(const std::string& path,
         << ", \"speedup\": " << dataset->speedup
         << ", \"encode_ms\": " << dataset->encode_ms
         << ", \"decode_ms\": " << dataset->decode_ms
-        << ", \"file_mb\": " << dataset->file_mb << "}";
+        << ", \"file_mb\": " << dataset->file_mb
+        << ", \"cold_stats\": ";
+    dataset->cold_stats.WriteJson(out);
+    out << ", \"warm_stats\": ";
+    dataset->warm_stats.WriteJson(out);
+    out << ", \"encode_stats\": ";
+    dataset->encode_stats.WriteJson(out);
+    out << ", \"decode_stats\": ";
+    dataset->decode_stats.WriteJson(out);
+    out << "}";
   }
   if (fullphy_sweep != nullptr) {
     out << ",\n  \"fullphy_results\": [\n";
@@ -1135,13 +1516,16 @@ int main(int argc, char** argv) {
   std::string json_path;
   bloc::bench::CommonFlags common;
   std::string mode = "all";  // all | localize | fullphy | dataset | obs |
-                             // search | soak
+                             // search | track | soak
   std::size_t sweep_rounds = 8;
   std::size_t dataset_locations = 100;
+  std::size_t track_locations = 100;
   double obs_guard_pct = -1.0;  // <0: report only, no gate
   bool search_guard = false;
+  bool track_parity = false;
   bool run_micro = true;
   SoakConfig soak_config;
+  bool soak_wire = false;
   bool soak_guard = false;
   double soak_guard_p99_ms = -1.0;  // <0: no latency budget
   const auto parse_csv = [](std::string_view v) {
@@ -1166,10 +1550,16 @@ int main(int argc, char** argv) {
       obs_guard_pct = std::stod(std::string(arg.substr(12)));
     } else if (arg == "--search-guard") {
       search_guard = true;
+    } else if (arg == "--track-parity") {
+      track_parity = true;
+    } else if (arg == "--wire") {
+      soak_wire = true;
     } else if (arg.starts_with("--sweep-rounds=")) {
       sweep_rounds = std::stoul(std::string(arg.substr(15)));
     } else if (arg.starts_with("--dataset-locations=")) {
       dataset_locations = std::stoul(std::string(arg.substr(20)));
+    } else if (arg.starts_with("--track-locations=")) {
+      track_locations = std::stoul(std::string(arg.substr(18)));
     } else if (arg.starts_with("--tags=")) {
       soak_config.tags = parse_csv(arg.substr(7));
     } else if (arg.starts_with("--shards=")) {
@@ -1205,10 +1595,10 @@ int main(int argc, char** argv) {
       mode = arg.substr(7);
       if (mode != "all" && mode != "localize" && mode != "fullphy" &&
           mode != "dataset" && mode != "obs" && mode != "search" &&
-          mode != "soak") {
+          mode != "track" && mode != "soak") {
         std::cerr << "bench_perf: unknown --mode=" << mode
                   << " (expected all, localize, fullphy, dataset, obs, "
-                     "search or soak)\n";
+                     "search, track or soak)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -1236,13 +1626,19 @@ int main(int argc, char** argv) {
   DatasetSweep dataset;
   ObsOverhead obs_overhead;
   SearchComparison search;
+  TrackComparison track;
   SoakResult soak;
+  WireSmoke wire;
   const bool run_localize = mode == "all" || mode == "localize";
   const bool run_fullphy = mode == "all" || mode == "fullphy";
   const bool run_dataset = mode == "all" || mode == "dataset";
   const bool run_obs = mode == "all" || mode == "obs";
   const bool run_search = mode == "all" || mode == "search";
-  const bool run_soak = mode == "soak";  // opt-in: minutes of load generation
+  const bool run_track = mode == "track";  // opt-in: moving-tag dataset
+  // Opt-in: minutes of load generation. --wire swaps the in-process sweep
+  // for the TCP-loopback smoke.
+  const bool run_soak = mode == "soak" && !soak_wire;
+  const bool run_wire = mode == "soak" && soak_wire;
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -1252,9 +1648,12 @@ int main(int argc, char** argv) {
     sweep = RunThroughputSweep(sweep_rounds);
   }
   if (run_search) search = RunSearchComparison(common.coarse_stride);
+  if (run_track) track = RunTrackComparison(track_locations,
+                                            common.coarse_stride);
   if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
   if (run_obs) obs_overhead = RunObsOverheadCheck(sweep_rounds);
   if (run_soak) soak = RunSoakSweep(soak_config);
+  if (run_wire) wire = RunWireSmoke(soak_config);
   if (!json_path.empty()) {
     WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
                    run_localize ? &kernels : nullptr,
@@ -1263,7 +1662,9 @@ int main(int argc, char** argv) {
                    run_dataset ? &dataset : nullptr,
                    run_obs ? &obs_overhead : nullptr,
                    run_search ? &search : nullptr,
-                   run_soak ? &soak : nullptr, sweep_rounds);
+                   run_track ? &track : nullptr,
+                   run_soak ? &soak : nullptr,
+                   run_wire ? &wire : nullptr, sweep_rounds);
   }
   bloc::bench::FinishObservability(common);
   if (run_obs && obs_guard_pct >= 0.0 &&
@@ -1278,6 +1679,32 @@ int main(int argc, char** argv) {
               << search.parity_mismatches << "/" << search.parity_rounds
               << " positions differing from exhaustive (--search-guard)\n";
     return 1;
+  }
+  if (run_track && track_parity && track.parity_mismatches > 0) {
+    std::cerr << "bench_perf: with gating off " << track.parity_mismatches
+              << "/" << track.parity_rounds
+              << " raw fixes differ from the engine pipeline "
+                 "(--track-parity)\n";
+    return 1;
+  }
+  if (run_wire && soak_guard) {
+    bool failed = false;
+    const auto fail = [&](const std::string& why) {
+      std::cerr << "bench_perf: wire smoke SLO gate failed: " << why << "\n";
+      failed = true;
+    };
+    if (wire.lost > 0) fail(std::to_string(wire.lost) + " updates lost");
+    if (wire.refused_frames > 0) {
+      fail(std::to_string(wire.refused_frames) + " frames refused");
+    }
+    if (wire.parity_mismatches > 0) {
+      fail(std::to_string(wire.parity_mismatches) + " position mismatches");
+    }
+    if (wire.order_violations > 0) {
+      fail(std::to_string(wire.order_violations) +
+           " per-tag order violations");
+    }
+    if (failed) return 1;
   }
   if (run_soak && soak_guard) {
     // SLO gate: every admitted frame localized exactly once (no loss, no

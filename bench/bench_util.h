@@ -120,16 +120,35 @@ struct BenchSetup {
   std::string load_dataset;   // --load-dataset=PATH (primary dataset)
 };
 
+/// Parses `--motion=static|waypoint|walk` (throws on anything else).
+inline sim::MotionModel ParseMotionModel(const std::string& name) {
+  if (name == "static") return sim::MotionModel::kStatic;
+  if (name == "waypoint") return sim::MotionModel::kWaypoint;
+  if (name == "walk") return sim::MotionModel::kRandomWalk;
+  throw std::invalid_argument(
+      "--motion must be 'static', 'waypoint' or 'walk'");
+}
+
 /// Common CLI: --locations=N --seed=S --csv=PATH --resolution=R
 /// --dataset-cache=DIR --save-dataset=PATH --load-dataset=PATH
+/// --motion=MODEL --speed=MPS --round-period=S --waypoints=N
 /// plus every CommonFlags flag.
 inline BenchSetup ParseSetup(int argc, char** argv,
-                             std::size_t default_locations = 250) {
+                             std::size_t default_locations = 250,
+                             const std::string& default_motion = "static") {
   sim::CliArgs args(argc, argv);
   BenchSetup setup;
   setup.scenario = sim::PaperTestbed(args.U64("seed", 1));
   setup.options.locations = args.SizeT("locations", default_locations);
   setup.options.grid_resolution = args.Double("resolution", 0.075);
+  setup.scenario.motion.model =
+      ParseMotionModel(args.Str("motion", default_motion));
+  setup.scenario.motion.speed_mps =
+      args.Double("speed", setup.scenario.motion.speed_mps);
+  setup.scenario.motion.round_period_s =
+      args.Double("round-period", setup.scenario.motion.round_period_s);
+  setup.scenario.motion.waypoint_count =
+      args.SizeT("waypoints", setup.scenario.motion.waypoint_count);
   setup.csv_path = args.Str("csv", "");
   setup.common.ReadFrom(args);
   // --threads drives dataset synthesis too: the measurement simulator's

@@ -33,6 +33,10 @@ struct LocalizerMetrics {
   obs::Counter& search_regions_refined =
       obs::GetCounter("bloc.search.regions_refined");
   obs::Counter& search_fallbacks = obs::GetCounter("bloc.search.fallbacks");
+  obs::Counter& search_gated_rounds =
+      obs::GetCounter("bloc.search.gated_rounds");
+  obs::Counter& search_gate_misses =
+      obs::GetCounter("bloc.search.gate_misses");
   obs::Counter& search_parity_failures =
       obs::GetCounter("bloc.search.parity_failures");
   obs::Histogram& search_coarse_us =
@@ -103,23 +107,46 @@ class CoarseToFineSearch final : public SearchStrategy {
   void BuildFusedInto(const Localizer& loc,
                       LocalizerWorkspace& ws) const override {
     const LocalizerMetrics& metrics = LocalizerMetrics::Get();
-    if (!TryCoarse(loc, ws)) {
+    bool ok = TryCoarse(loc, ws, ws.gate.active);
+    FallbackReason gate_reason = FallbackReason::kNone;
+    if (!ok && ws.gate.active) {
+      // The gate held no usable likelihood mass: fall back along the
+      // existing chain, first the full (ungated) coarse pass, then the
+      // exhaustive reference below. The gate reason survives in
+      // stats.gate_fallback either way.
+      gate_reason = ws.search.stats.fallback_reason;
+      metrics.search_gate_misses.Inc();
+      ok = TryCoarse(loc, ws, /*use_gate=*/false);
+      if (ok) ws.search.stats.gate_fallback = gate_reason;
+    }
+    if (!ok) {
       // The exhaustive pass resets the stats; keep the recorded reason.
       const FallbackReason reason = ws.search.stats.fallback_reason;
       GetSearchStrategy(SearchMode::kExhaustive).BuildFusedInto(loc, ws);
       ws.search.stats.fell_back = true;
       ws.search.stats.fallback_reason = reason;
+      ws.search.stats.gate_fallback = gate_reason;
       metrics.search_fallbacks.Inc();
       return;
     }
-    if (loc.config().spectra.search.parity_check) CheckParity(loc, ws);
+    if (ws.search.stats.gated) metrics.search_gated_rounds.Inc();
+    // Parity against the full exhaustive map is only meaningful ungated:
+    // a gated round deliberately searches the predicted region alone.
+    if (loc.config().spectra.search.parity_check && !ws.search.stats.gated) {
+      CheckParity(loc, ws);
+    }
   }
 
  private:
-  /// Runs the coarse-to-fine round; false means "run exhaustive instead"
-  /// (inapplicable configuration, degenerate map, bound violation, or
-  /// pruning not paying). ws.fused contents are unspecified on false.
-  bool TryCoarse(const Localizer& loc, LocalizerWorkspace& ws) const {
+  /// Runs the coarse-to-fine round; false means "fall back" (inapplicable
+  /// configuration, degenerate map, bound violation, pruning not paying,
+  /// or — with use_gate — a gate miss). ws.fused contents are unspecified
+  /// on false. With use_gate the survivor search, the per-anchor
+  /// normalizers and the refine set are restricted to the blocks
+  /// intersecting ws.gate (dilated by the scoring halo); every refined
+  /// value keeps the exhaustive path's exact per-cell arithmetic.
+  bool TryCoarse(const Localizer& loc, LocalizerWorkspace& ws,
+                 bool use_gate) const {
     const LocalizerMetrics& metrics = LocalizerMetrics::Get();
     const LocalizerConfig& cfg = loc.config();
     const SearchConfig& sc = cfg.spectra.search;
@@ -157,20 +184,129 @@ class CoarseToFineSearch final : public SearchStrategy {
     }
     const std::size_t nb = level->num_blocks();
     const std::size_t total_cells = level->fine_cols * level->fine_rows;
-    s.coarse.resize(n_anchors * nb);
+    // Halo: peak neighborhoods (radius 2) and entropy windows (radius 3)
+    // of any collected peak must be exact, so the core will be dilated by
+    // enough block rings to cover the larger radius. Computed up front
+    // because the gate's evaluation region needs it too.
+    const std::size_t halo_cells = std::max(
+        cfg.scoring.entropy_window_radius,
+        cfg.scoring.peaks.neighborhood_radius);
+    const std::size_t halo =
+        (halo_cells + sc.coarse_stride - 1) / sc.coarse_stride;
+
+    // The gate's block rectangles (full grid when ungated): the CORE rect
+    // holds the survivor candidates; bounds are trusted on the core
+    // dilated by the halo (where DilateCore may still mark blocks); coarse
+    // samples are evaluated one further ring out so every trusted bound
+    // sees its complete 3x3 neighborhood.
+    std::size_t core_c0 = 0, core_c1 = level->bcols - 1;
+    std::size_t core_r0 = 0, core_r1 = level->brows - 1;
+    if (use_gate) {
+      const SearchGate& gate = ws.gate;
+      const dsp::GridSpec& grid = cfg.grid;
+      if (!(gate.radius_m > 0.0)) {
+        s.stats.fallback_reason = FallbackReason::kGateMiss;
+        return false;
+      }
+      const double x0 = gate.center.x - gate.radius_m;
+      const double x1 = gate.center.x + gate.radius_m;
+      const double y0 = gate.center.y - gate.radius_m;
+      const double y1 = gate.center.y + gate.radius_m;
+      if (x1 < grid.x_min || x0 > grid.x_max || y1 < grid.y_min ||
+          y0 > grid.y_max) {
+        s.stats.fallback_reason = FallbackReason::kGateMiss;
+        return false;
+      }
+      const auto block_of = [&](double v, double lo, std::size_t blocks) {
+        const double c = std::floor((v - lo) / grid.resolution);
+        const double b = std::clamp(c, 0.0, 1e18) /
+                         static_cast<double>(sc.coarse_stride);
+        return std::min(static_cast<std::size_t>(b), blocks - 1);
+      };
+      core_c0 = block_of(x0, grid.x_min, level->bcols);
+      core_c1 = block_of(x1, grid.x_min, level->bcols);
+      core_r0 = block_of(y0, grid.y_min, level->brows);
+      core_r1 = block_of(y1, grid.y_min, level->brows);
+    }
+    const auto dilate_lo = [](std::size_t v, std::size_t by) {
+      return v > by ? v - by : 0;
+    };
+    const auto dilate_hi = [](std::size_t v, std::size_t by,
+                              std::size_t max) {
+      return std::min(v + by, max);
+    };
+    // Bounds are trusted on the core + halo rect; samples cover one more.
+    const std::size_t bnd_c0 = dilate_lo(core_c0, halo);
+    const std::size_t bnd_c1 = dilate_hi(core_c1, halo, level->bcols - 1);
+    const std::size_t bnd_r0 = dilate_lo(core_r0, halo);
+    const std::size_t bnd_r1 = dilate_hi(core_r1, halo, level->brows - 1);
+    const std::size_t ev_c0 = dilate_lo(bnd_c0, 1);
+    const std::size_t ev_c1 = dilate_hi(bnd_c1, 1, level->bcols - 1);
+    const std::size_t ev_r0 = dilate_lo(bnd_r0, 1);
+    const std::size_t ev_r1 = dilate_hi(bnd_r1, 1, level->brows - 1);
+    const bool gated = use_gate &&
+                       !(ev_c0 == 0 && ev_r0 == 0 &&
+                         ev_c1 == level->bcols - 1 &&
+                         ev_r1 == level->brows - 1);
+    s.stats.gated = gated;
+
     s.bound.resize(n_anchors * nb);
     s.anchor_max.resize(n_anchors);
-    for (std::size_t i = 0; i < n_anchors; ++i) {
-      JointLikelihoodCellsInto(inputs[i], *plans[i], level->sample_cells,
-                               s.coarse.data() + i * nb, sws);
+    if (gated) {
+      // Evaluate only the gate's sample cells and scatter them into the
+      // (zeroed) coarse level; unevaluated blocks stay at zero and are
+      // excluded from bounds, survivor selection and the max descent.
+      s.coarse.assign(n_anchors * nb, 0.0);
+      s.cand.clear();
+      s.cand_cells.clear();
+      for (std::size_t br = ev_r0; br <= ev_r1; ++br) {
+        for (std::size_t bc = ev_c0; bc <= ev_c1; ++bc) {
+          const std::size_t b = br * level->bcols + bc;
+          s.cand.push_back(static_cast<std::uint32_t>(b));
+          s.cand_cells.push_back(level->sample_cells[b]);
+        }
+      }
+      s.cand_values.resize(s.cand_cells.size());
+      for (std::size_t i = 0; i < n_anchors; ++i) {
+        JointLikelihoodCellsInto(inputs[i], *plans[i], s.cand_cells,
+                                 s.cand_values.data(), sws);
+        double* row = s.coarse.data() + i * nb;
+        for (std::size_t t = 0; t < s.cand.size(); ++t) {
+          row[s.cand[t]] = s.cand_values[t];
+        }
+      }
+      s.stats.cells_evaluated += n_anchors * s.cand_cells.size();
+    } else {
+      s.coarse.resize(n_anchors * nb);
+      for (std::size_t i = 0; i < n_anchors; ++i) {
+        JointLikelihoodCellsInto(inputs[i], *plans[i], level->sample_cells,
+                                 s.coarse.data() + i * nb, sws);
+      }
+      s.stats.cells_evaluated += n_anchors * nb;
     }
-    s.stats.cells_evaluated += n_anchors * nb;
 
     // --- Block upper bounds: kappa x (3x3 coarse-neighborhood max), per
     // anchor in raw magnitude units. ---
     for (std::size_t i = 0; i < n_anchors; ++i) {
       NeighborhoodMax(s.coarse.data() + i * nb, level->bcols, level->brows,
                       sc.bound_inflation, s.bound.data() + i * nb);
+    }
+    if (gated) {
+      // Bounds are only honest where the full 3x3 coarse neighborhood was
+      // evaluated — the bnd rect. Zero the rest so neither survivor
+      // selection nor the max descent trusts a bound built over missing
+      // samples.
+      for (std::size_t i = 0; i < n_anchors; ++i) {
+        double* row = s.bound.data() + i * nb;
+        for (std::size_t br = 0; br < level->brows; ++br) {
+          const bool row_in = br >= bnd_r0 && br <= bnd_r1;
+          for (std::size_t bc = 0; bc < level->bcols; ++bc) {
+            if (!row_in || bc < bnd_c0 || bc > bnd_c1) {
+              row[br * level->bcols + bc] = 0.0;
+            }
+          }
+        }
+      }
     }
 
     // --- Survivor selection on the coarse fused surface. The per-anchor
@@ -184,27 +320,37 @@ class CoarseToFineSearch final : public SearchStrategy {
       const double* row = s.coarse.data() + i * nb;
       const double coarse_max = *std::max_element(row, row + nb);
       if (!(coarse_max > 0.0)) {
-        s.stats.fallback_reason = FallbackReason::kDegenerate;
+        s.stats.fallback_reason =
+            gated ? FallbackReason::kGateMiss : FallbackReason::kDegenerate;
         return false;
       }
       s.anchor_max[i] = coarse_max;  // Mhat_i, replaced by M_i after refine
     }
     s.fused_coarse.assign(nb, 0.0);
-    std::size_t b_star = 0;
-    double f_hat = 0.0;
     for (std::size_t b = 0; b < nb; ++b) {
       double f = 0.0;
       for (std::size_t i = 0; i < n_anchors; ++i) {
         f += s.coarse[i * nb + b] / s.anchor_max[i];
       }
       s.fused_coarse[b] = f;
-      if (f > f_hat) {
-        f_hat = f;
-        b_star = b;
+    }
+    // Survivor candidates and the fused argmax live in the CORE rect alone
+    // (the whole grid when ungated — identical iteration order, so the
+    // ungated path stays bit-for-bit the pre-gate behavior).
+    std::size_t b_star = 0;
+    double f_hat = 0.0;
+    for (std::size_t br = core_r0; br <= core_r1; ++br) {
+      for (std::size_t bc = core_c0; bc <= core_c1; ++bc) {
+        const std::size_t b = br * level->bcols + bc;
+        if (s.fused_coarse[b] > f_hat) {
+          f_hat = s.fused_coarse[b];
+          b_star = b;
+        }
       }
     }
     if (!(f_hat > 0.0)) {
-      s.stats.fallback_reason = FallbackReason::kDegenerate;
+      s.stats.fallback_reason =
+          gated ? FallbackReason::kGateMiss : FallbackReason::kDegenerate;
       return false;
     }
     // Two fused upper bounds are nearly free; refine when the tighter one
@@ -212,30 +358,25 @@ class CoarseToFineSearch final : public SearchStrategy {
     // separately; the fused-neighborhood bound exploits the smoothness of
     // the fused surface itself.
     const double floor = lambda * f_hat;
-    for (std::size_t b = 0; b < nb; ++b) {
-      if (s.block_flag[b] != 0) continue;
-      double uf_sum = 0.0;
-      for (std::size_t i = 0; i < n_anchors; ++i) {
-        uf_sum += s.bound[i * nb + b] / s.anchor_max[i];
+    for (std::size_t br = core_r0; br <= core_r1; ++br) {
+      for (std::size_t bc = core_c0; bc <= core_c1; ++bc) {
+        const std::size_t b = br * level->bcols + bc;
+        if (s.block_flag[b] != 0) continue;
+        double uf_sum = 0.0;
+        for (std::size_t i = 0; i < n_anchors; ++i) {
+          uf_sum += s.bound[i * nb + b] / s.anchor_max[i];
+        }
+        if (uf_sum < floor) continue;
+        if (NeighborhoodMaxAt(s.fused_coarse.data(), level->bcols,
+                              level->brows, b) *
+                sc.bound_inflation <
+            floor) {
+          continue;
+        }
+        s.block_flag[b] = 1;
       }
-      if (uf_sum < floor) continue;
-      if (NeighborhoodMaxAt(s.fused_coarse.data(), level->bcols,
-                            level->brows, b) *
-              sc.bound_inflation <
-          floor) {
-        continue;
-      }
-      s.block_flag[b] = 1;
     }
     s.block_flag[b_star] = 1;  // the best fused sample always refines
-    // Halo: peak neighborhoods (radius 2) and entropy windows (radius 3)
-    // of any collected peak must be exact, so dilate the core by enough
-    // block rings to cover the larger radius.
-    const std::size_t halo_cells = std::max(
-        cfg.scoring.entropy_window_radius,
-        cfg.scoring.peaks.neighborhood_radius);
-    const std::size_t halo =
-        (halo_cells + sc.coarse_stride - 1) / sc.coarse_stride;
     DilateCore(s.block_flag, level->bcols, level->brows, halo);
 
     // --- Turn the survivor blocks into contiguous row runs. Adjacent

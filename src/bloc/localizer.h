@@ -59,6 +59,7 @@ enum class FallbackReason : std::uint8_t {
   kDegenerate,      // an anchor map or the fused surface had no positive max
   kFractionGuard,   // survivor set too large for pruning to pay
   kBoundViolation,  // a refined value exceeded its block bound (canary)
+  kGateMiss,        // the search gate held no usable likelihood mass
 };
 
 struct SearchStats {
@@ -68,6 +69,12 @@ struct SearchStats {
   /// violation, degenerate map, or pruning not paying).
   bool fell_back = false;
   FallbackReason fallback_reason = FallbackReason::kNone;
+  /// The survivor search ran inside LocalizerWorkspace::gate.
+  bool gated = false;
+  /// Why an active gate was abandoned this round (kGateMiss when the gated
+  /// region was empty or degenerate; the round then re-ran ungated through
+  /// the usual coarse -> exhaustive chain).
+  FallbackReason gate_fallback = FallbackReason::kNone;
   std::size_t cells_evaluated = 0;
   std::size_t cells_pruned = 0;
   /// Blocks refined at full resolution (core + halo).
@@ -97,6 +104,22 @@ struct SearchScratch {
   SearchStats stats;
 };
 
+/// Optional per-round search gate (track-while-localize, DESIGN.md §5g):
+/// when active, the coarse-to-fine strategy restricts the survivor search
+/// to the blocks intersecting the square of half-width `radius_m` around
+/// `center` — typically the Kalman prediction, sized by its covariance.
+/// Refined cells keep the exhaustive path's exact per-cell values and the
+/// per-anchor normalizers become the exact maxima over the gated region;
+/// the map is zero outside. When the gate holds no usable likelihood mass
+/// the round re-runs ungated (FallbackReason::kGateMiss is recorded in
+/// SearchStats::gate_fallback). Ignored by the exhaustive strategy; with
+/// `active` false the pipeline is bit-identical to the ungated path.
+struct SearchGate {
+  bool active = false;
+  geom::Vec2 center;
+  double radius_m = 0.0;
+};
+
 /// All per-round scratch of the staged pipeline. Owned by the caller (one
 /// per engine worker); every buffer is reused round after round, so the
 /// steady state performs no heap allocations for a fixed deployment shape.
@@ -116,6 +139,9 @@ struct LocalizerWorkspace {
   std::shared_ptr<dsp::Grid2D> fused;
   /// Coarse-to-fine search scratch and per-round stats.
   SearchScratch search;
+  /// Caller-set per-round search gate (see SearchGate). The search never
+  /// mutates it; callers that gate one round must clear `active` after.
+  SearchGate gate;
 
   /// Ensures `fused` exists and is not aliased by an outstanding result.
   dsp::Grid2D& EnsureFused() {

@@ -1,0 +1,56 @@
+#include "eval/trajectory.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace bloc::eval {
+
+TrajectorySummary SummarizeTrajectory(
+    std::span<const TrajectoryPoint> points) {
+  TrajectorySummary out;
+  out.raw_errors.reserve(points.size());
+  out.tracked_errors.reserve(points.size());
+  for (const TrajectoryPoint& p : points) {
+    out.raw_errors.push_back(LocalizationError(p.raw, p.truth));
+    out.tracked_errors.push_back(LocalizationError(p.tracked, p.truth));
+    if (!p.fix_accepted) ++out.rejected_fixes;
+  }
+  out.raw = ComputeStats(out.raw_errors);
+  out.tracked = ComputeStats(out.tracked_errors);
+  return out;
+}
+
+std::vector<std::size_t> NearestAnchors(
+    std::span<const geom::Vec2> anchor_positions, const geom::Vec2& position,
+    std::size_t k) {
+  std::vector<std::size_t> order(anchor_positions.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  // Ties break on the lower index, so the subset is deterministic.
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      const double da =
+                          (anchor_positions[a] - position).Norm();
+                      const double db =
+                          (anchor_positions[b] - position).Norm();
+                      return da != db ? da < db : a < b;
+                    });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+HandoffStats CountHandoffs(
+    std::span<const std::vector<std::size_t>> subsets) {
+  HandoffStats out;
+  std::set<std::vector<std::size_t>> seen;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    seen.insert(subsets[i]);
+    if (i > 0 && subsets[i] != subsets[i - 1]) ++out.handoffs;
+  }
+  out.distinct_subsets = seen.size();
+  return out;
+}
+
+}  // namespace bloc::eval

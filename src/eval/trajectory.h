@@ -1,0 +1,55 @@
+// Trajectory evaluation (track-while-localize, DESIGN.md §5g): per-round
+// error series of a moving tag under raw per-round fixes vs the Kalman-
+// smoothed track, plus the anchor-handoff bookkeeping used when a tag
+// crosses the room and the serving anchor subset follows it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "geom/vec2.h"
+
+namespace bloc::eval {
+
+/// One localized round of a trajectory run.
+struct TrajectoryPoint {
+  double t_s = 0.0;
+  geom::Vec2 truth;
+  geom::Vec2 raw;      // per-round fix
+  geom::Vec2 tracked;  // Kalman-smoothed estimate after this round
+  bool fix_accepted = true;
+};
+
+/// Error series and summary statistics of one trajectory run.
+struct TrajectorySummary {
+  std::vector<double> raw_errors;      // |raw - truth| per round (metres)
+  std::vector<double> tracked_errors;  // |tracked - truth| per round
+  ErrorStats raw;
+  ErrorStats tracked;
+  std::size_t rejected_fixes = 0;
+};
+
+TrajectorySummary SummarizeTrajectory(std::span<const TrajectoryPoint> points);
+
+/// Nearest-anchor handoffs along a trajectory: the serving subset follows
+/// the (predicted) tag position, and each change of subset is a handoff.
+/// `anchor_positions` are array origins in deployment order.
+struct HandoffStats {
+  std::size_t handoffs = 0;          // rounds whose subset differs from prev
+  std::size_t distinct_subsets = 0;  // unique subsets seen along the way
+};
+
+/// The `k` nearest anchors to `position` (indices into `anchor_positions`,
+/// ascending index order so equal subsets compare equal).
+std::vector<std::size_t> NearestAnchors(
+    std::span<const geom::Vec2> anchor_positions, const geom::Vec2& position,
+    std::size_t k);
+
+/// Counts handoffs over per-round serving subsets (each inner vector as
+/// returned by NearestAnchors).
+HandoffStats CountHandoffs(
+    std::span<const std::vector<std::size_t>> subsets);
+
+}  // namespace bloc::eval

@@ -240,6 +240,7 @@ void LocalizationService::Assemble(std::size_t worker, TagSessionShard& shard,
   auto [it, created] = shard.sessions.try_emplace(frame.tag_id);
   TagSession& session = it->second;
   if (created) {
+    session.tracker = track::KalmanTracker(options_.kalman);
     std::lock_guard anchors_lock(anchors_mutex_);
     session.anchors = anchor_view_;
   }
@@ -364,6 +365,32 @@ std::size_t LocalizationService::SweepCompletions(TagSessionShard& shard) {
         TagSession& session = it->second;
         session.inflight -= 1;
         session.last_activity_ns = now;
+        update.tracked_position = update.result.position;
+        if (options_.track && update.result.anchors_used > 0) {
+          // Round-ordered delivery (front-first FIFO) keeps the per-tag dt
+          // sequence monotone; a duplicate or reordered round id yields
+          // dt <= 0, which the tracker rejects rather than corrupting the
+          // covariance.
+          const double dt =
+              session.has_tracked_round
+                  ? static_cast<double>(static_cast<std::int64_t>(
+                        update.round_id - session.last_tracked_round)) *
+                        options_.round_period_s
+                  : 0.0;
+          update.fix_accepted =
+              session.tracker.Update(update.result.position, dt);
+          if (!session.has_tracked_round ||
+              update.fix_accepted || dt > 0.0) {
+            session.last_tracked_round = update.round_id;
+            session.has_tracked_round = true;
+          }
+          update.tracked_position = session.tracker.position();
+          update.velocity = session.tracker.velocity();
+        } else if (options_.track && session.tracker.initialized()) {
+          // Empty round: report the last known track without advancing it.
+          update.tracked_position = session.tracker.position();
+          update.velocity = session.tracker.velocity();
+        }
         if (!callback_) {
           if (session.ready.size() >= options_.max_ready_updates) {
             session.ready.pop_front();

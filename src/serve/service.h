@@ -66,6 +66,14 @@ struct ServiceOptions {
   std::chrono::nanoseconds session_idle_timeout{std::chrono::minutes(1)};
   /// Per-tag Poll() backlog bound; beyond it the oldest update is dropped.
   std::size_t max_ready_updates = 256;
+  /// Run a per-tag Kalman track over the fixes: every PositionUpdate then
+  /// carries the smoothed position and velocity next to the raw fix. Off
+  /// leaves tracked_position == result.position and velocity zero.
+  bool track = true;
+  /// Round cadence assumed by the tracker: dt between two fixes of one tag
+  /// is the round-id delta times this (the wire carries no timestamps).
+  double round_period_s = 0.5;
+  track::KalmanConfig kalman;
 };
 
 /// Monotonic per-instance counters (the registry counters aggregate across

@@ -19,6 +19,7 @@
 #include "bloc/localizer.h"
 #include "net/collector.h"
 #include "serve/ingest_queue.h"
+#include "track/kalman.h"
 
 namespace bloc::serve {
 
@@ -43,11 +44,20 @@ struct TagFrame {
 };
 
 /// A localized position delivered on the output stream, via the service
-/// callback or Poll().
+/// callback or Poll(). Carries both the raw per-round fix and the session
+/// tracker's smoothed state (equal to the raw fix when tracking is off).
 struct PositionUpdate {
   std::uint64_t tag_id = 0;
   std::uint64_t round_id = 0;
   core::LocationResult result;
+  /// Kalman-smoothed position after this round (== result.position when
+  /// ServiceOptions::track is off or the tag has a single fix).
+  geom::Vec2 tracked_position;
+  /// Estimated tag velocity (m/s; zero until two fixes are in).
+  geom::Vec2 velocity;
+  /// The raw fix updated the track (false when the round was empty, the
+  /// fix failed the innovation gate, or tracking is off).
+  bool fix_accepted = false;
   /// First-frame ring admission -> result available, microseconds.
   std::uint64_t latency_us = 0;
 };
@@ -78,6 +88,14 @@ struct TagSession {
   std::uint64_t last_activity_ns = 0;
   /// Rounds of this tag currently in the engine.
   std::size_t inflight = 0;
+  /// Per-tag track over the delivered fixes (ServiceOptions::track). Only
+  /// touched by SweepCompletions under the shard mutex, in round order.
+  track::KalmanTracker tracker;
+  /// Round id of the last fix offered to the tracker; dt between rounds is
+  /// (round_id - last) x ServiceOptions::round_period_s (the wire carries
+  /// no capture timestamps, and round ids tick one per period).
+  std::uint64_t last_tracked_round = 0;
+  bool has_tracked_round = false;
 };
 
 /// A completed round riding through LocalizationEngine::LocateAsync. The

@@ -17,8 +17,10 @@ namespace {
 // asserts make silently forgetting that a compile error on the reference
 // toolchain.
 #if defined(__x86_64__) && defined(__GLIBCXX__)
-static_assert(sizeof(ScenarioConfig) == 200,
+static_assert(sizeof(ScenarioConfig) == 248,
               "ScenarioConfig changed: extend Fingerprint() and update size");
+static_assert(sizeof(MotionConfig) == 48,
+              "MotionConfig changed: extend Fingerprint()");
 static_assert(sizeof(DatasetOptions) == 72,
               "DatasetOptions changed: extend Fingerprint() and update size");
 static_assert(sizeof(chan::PropagationConfig) == 48,
@@ -192,6 +194,12 @@ std::uint64_t Fingerprint(const ScenarioConfig& config,
   h.Size(config.run_bits);
   h.Size(config.payload_len);
   h.U64(config.seed);
+  h.U64(static_cast<std::uint64_t>(config.motion.model));
+  h.F64(config.motion.speed_mps);
+  h.F64(config.motion.round_period_s);
+  h.F64(config.motion.wall_margin);
+  h.Size(config.motion.waypoint_count);
+  h.F64(config.motion.heading_std_rad);
   // DatasetOptions (measurement_threads and progress excluded: neither
   // affects the generated measurements — synthesis is bit-identical for
   // every thread count).
@@ -220,11 +228,12 @@ void DatasetWriter::Begin(const core::Deployment& deployment,
   WriteGrid(grid, w_);
 }
 
-void DatasetWriter::Append(const geom::Vec2& truth,
+void DatasetWriter::Append(double t_s, const geom::Vec2& truth,
                            const net::MeasurementRound& round) {
   if (!begun_ || finished_) {
     throw std::logic_error("DatasetWriter::Append outside Begin..Finish");
   }
+  w_.F64(t_s);
   w_.F64(truth.x);
   w_.F64(truth.y);
   net::EncodeMeasurementRound(round, w_);
@@ -252,10 +261,19 @@ net::Buffer EncodeDataset(const Dataset& dataset, std::uint64_t fingerprint) {
   if (dataset.truths.size() != dataset.rounds.size()) {
     throw std::logic_error("EncodeDataset: truths/rounds size mismatch");
   }
+  if (!dataset.timestamps.empty() &&
+      dataset.timestamps.size() != dataset.rounds.size()) {
+    throw std::logic_error("EncodeDataset: timestamps/rounds size mismatch");
+  }
   DatasetWriter writer(fingerprint);
   writer.Begin(dataset.deployment, dataset.room_grid);
   for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
-    writer.Append(dataset.truths[i], dataset.rounds[i]);
+    // Hand-built datasets without timestamps serialize at 1 Hz, matching
+    // what a v1 file loads back as.
+    const double t_s = dataset.timestamps.empty()
+                           ? static_cast<double>(i)
+                           : dataset.timestamps[i];
+    writer.Append(t_s, dataset.truths[i], dataset.rounds[i]);
   }
   return writer.Finish();
 }
@@ -269,9 +287,10 @@ LoadedDataset DecodeDataset(std::span<const std::uint8_t> bytes) {
     throw net::WireError("dataset: bad magic (not a BLoc dataset file)");
   }
   const std::uint16_t version = header.U16();
-  if (version != kDatasetFormatVersion) {
+  if (version < kDatasetMinFormatVersion || version > kDatasetFormatVersion) {
     throw net::WireError("dataset: unsupported format version " +
-                         std::to_string(version) + " (expected " +
+                         std::to_string(version) + " (supported " +
+                         std::to_string(kDatasetMinFormatVersion) + ".." +
                          std::to_string(kDatasetFormatVersion) + ")");
   }
   LoadedDataset loaded;
@@ -293,11 +312,17 @@ LoadedDataset DecodeDataset(std::span<const std::uint8_t> bytes) {
     throw net::WireError("dataset: implausible round count");
   }
   loaded.dataset.truths.reserve(rounds);
+  loaded.dataset.timestamps.reserve(rounds);
   loaded.dataset.rounds.reserve(rounds);
   for (std::uint64_t i = 0; i < rounds; ++i) {
+    // v1 files predate the time dimension: each round becomes a one-pose
+    // trajectory sample at synthesized 1 Hz spacing.
+    const double t_s =
+        version >= 2 ? r.F64() : static_cast<double>(i);
     geom::Vec2 truth;
     truth.x = r.F64();
     truth.y = r.F64();
+    loaded.dataset.timestamps.push_back(t_s);
     loaded.dataset.truths.push_back(truth);
     loaded.dataset.rounds.push_back(net::DecodeMeasurementRound(r));
   }

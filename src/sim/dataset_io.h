@@ -15,10 +15,15 @@
 //       f64 origin.x, f64 origin.y, f64 axis_radians, f64 spacing_m,
 //       u32 num_antennas
 //     f64 x_min, y_min, x_max, y_max, resolution        (room grid)
-//     per round: f64 truth.x, f64 truth.y, MeasurementRound body
+//     per round: f64 t_s, f64 truth.x, f64 truth.y, MeasurementRound body
 //       (net::EncodeMeasurementRound)
 //   [u32 crc32 over header + payload]
-// Corrupt, truncated or version-mismatched files raise net::WireError.
+// Version history:
+//   v1: rounds carried (truth, body) only — static snapshots. Still loads:
+//       timestamps are synthesized at 1 Hz (a single-pose-per-round
+//       trajectory), so every v1 dataset remains usable unchanged.
+//   v2: per-round capture timestamp t_s prepended (trajectory workloads).
+// Corrupt, truncated or future-versioned files raise net::WireError.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +36,9 @@
 namespace bloc::sim {
 
 inline constexpr std::uint32_t kDatasetMagic = 0xB10CDA7Au;
-inline constexpr std::uint16_t kDatasetFormatVersion = 1;
+inline constexpr std::uint16_t kDatasetFormatVersion = 2;
+/// Oldest format version DecodeDataset still understands.
+inline constexpr std::uint16_t kDatasetMinFormatVersion = 1;
 /// Fixed header prefix: magic + version + fingerprint + round count +
 /// payload length.
 inline constexpr std::size_t kDatasetHeaderBytes = 4 + 2 + 8 + 8 + 8;
@@ -58,7 +65,8 @@ class DatasetWriter {
   /// Writes the header and the deployment/grid sections. Must be called
   /// exactly once, before any Append.
   void Begin(const core::Deployment& deployment, const dsp::GridSpec& grid);
-  void Append(const geom::Vec2& truth, const net::MeasurementRound& round);
+  void Append(double t_s, const geom::Vec2& truth,
+              const net::MeasurementRound& round);
   /// Patches the round/payload counters, seals the CRC and returns the
   /// finished file image. The writer is spent afterwards.
   net::Buffer Finish();

@@ -65,21 +65,26 @@ StreamedExperiment StreamExperiment(const ScenarioConfig& config,
                    core::EngineOptions{.threads = sinks.eval_threads});
   }
 
-  const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(
-      options.locations, 0.3, options.position_seed);
+  // Each round re-solves the tag's channel at the trajectory's current
+  // pose; kStatic reproduces the historical independent-position sampling
+  // bit for bit (sim/motion.h).
+  const std::vector<TimedPose> trajectory = SampleTrajectory(
+      testbed, config.motion, options.locations, options.position_seed);
   // In-flight LocateAsync tasks hold references into these vectors, so
   // reserve up front: push_back must never reallocate under them.
-  dataset.rounds.reserve(positions.size());
-  dataset.truths.reserve(positions.size());
+  dataset.rounds.reserve(trajectory.size());
+  dataset.truths.reserve(trajectory.size());
+  dataset.timestamps.reserve(trajectory.size());
   if (engine) {
-    results.resize(positions.size());
-    pending.reserve(positions.size());
+    results.resize(trajectory.size());
+    pending.reserve(trajectory.size());
   }
 
   setup_span.End();
-  for (std::size_t i = 0; i < positions.size(); ++i) {
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
     obs::TraceSpan round_span("sim.stream.round", "sim", i);
-    const net::MeasurementRound produced = sim.RunRound(positions[i], i);
+    const net::MeasurementRound produced =
+        sim.RunRound(trajectory[i].position, i);
     for (const anchor::CsiReport& report : produced.reports) {
       transport.Send(net::CsiReportMsg{report});
     }
@@ -88,13 +93,15 @@ StreamedExperiment StreamExperiment(const ScenarioConfig& config,
       throw std::runtime_error("StreamExperiment: round did not complete");
     }
     dataset.rounds.push_back(std::move(*round));
-    dataset.truths.push_back(vicon.Measure(positions[i]));
+    dataset.truths.push_back(vicon.Measure(trajectory[i].position));
+    dataset.timestamps.push_back(trajectory[i].t_s);
     const net::MeasurementRound& recorded = dataset.rounds.back();
     if (sinks.writer != nullptr) {
-      sinks.writer->Append(dataset.truths.back(), recorded);
+      sinks.writer->Append(trajectory[i].t_s, dataset.truths.back(),
+                           recorded);
     }
     if (engine) pending.push_back(engine->LocateAsync(recorded, results[i]));
-    if (options.progress) options.progress(i + 1, positions.size());
+    if (options.progress) options.progress(i + 1, trajectory.size());
   }
 
   if (engine) {

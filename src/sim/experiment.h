@@ -16,13 +16,18 @@
 #include "bloc/localizer.h"
 #include "net/collector.h"
 #include "sim/measurement.h"
+#include "sim/motion.h"
 #include "sim/testbed.h"
 
 namespace bloc::sim {
 
 struct Dataset {
   core::Deployment deployment;
-  std::vector<geom::Vec2> truths;  // VICON-measured ground truth
+  std::vector<geom::Vec2> truths;  // VICON-measured ground-truth poses
+  /// Per-round capture timestamps (seconds from trajectory start). Static
+  /// datasets carry them too (round_period_s spacing); format-v1 files load
+  /// with synthesized 1 Hz timestamps.
+  std::vector<double> timestamps;
   std::vector<net::MeasurementRound> rounds;
   dsp::GridSpec room_grid;  // search grid matching the scenario's room
 };

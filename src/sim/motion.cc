@@ -1,0 +1,155 @@
+#include "sim/motion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/rng.h"
+
+namespace bloc::sim {
+
+namespace {
+
+bool InsideObstacle(const geom::Room& room, const geom::Vec2& p) {
+  for (const geom::Obstacle& o : room.obstacles()) {
+    if (o.Contains(p)) return true;
+  }
+  return false;
+}
+
+/// One uniform draw inside the margin box, rejecting obstacle interiors.
+/// Each call site hands in its own forked stream, so the number of
+/// rejections here never shifts any other stream's draws.
+geom::Vec2 SamplePoint(dsp::Rng rng, const Testbed& testbed, double margin) {
+  const ScenarioConfig& cfg = testbed.config();
+  for (std::size_t guard = 0; guard < 1000; ++guard) {
+    geom::Vec2 p{rng.Uniform(margin, cfg.room_width - margin),
+                 rng.Uniform(margin, cfg.room_height - margin)};
+    if (!InsideObstacle(testbed.room(), p)) return p;
+  }
+  throw std::runtime_error("SampleTrajectory: room too cluttered");
+}
+
+geom::Vec2 Clamp(const geom::Vec2& p, const ScenarioConfig& cfg,
+                 double margin) {
+  return {std::clamp(p.x, margin, cfg.room_width - margin),
+          std::clamp(p.y, margin, cfg.room_height - margin)};
+}
+
+std::vector<TimedPose> WaypointTrajectory(const Testbed& testbed,
+                                          const MotionConfig& motion,
+                                          std::size_t rounds,
+                                          std::uint64_t seed) {
+  const dsp::Rng root = dsp::Rng(seed).Fork("motion-waypoint");
+  const std::size_t n_wp = std::max<std::size_t>(motion.waypoint_count, 2);
+  std::vector<geom::Vec2> waypoints(n_wp);
+  for (std::size_t k = 0; k < n_wp; ++k) {
+    waypoints[k] = SamplePoint(root.Fork({k}), testbed, motion.wall_margin);
+  }
+
+  std::vector<TimedPose> out;
+  out.reserve(rounds);
+  geom::Vec2 pos = waypoints[0];
+  std::size_t target = 1;
+  const double step = motion.speed_mps * motion.round_period_s;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    out.push_back({static_cast<double>(i) * motion.round_period_s, pos});
+    // Advance `step` metres along the waypoint cycle, switching targets on
+    // arrival and carrying the remaining distance into the next segment.
+    double remaining = step;
+    while (remaining > 0.0) {
+      const geom::Vec2 to = waypoints[target] - pos;
+      const double d = to.Norm();
+      if (d <= remaining) {
+        pos = waypoints[target];
+        remaining -= d;
+        target = (target + 1) % n_wp;
+        if (d == 0.0) break;  // coincident waypoints: nothing to walk
+      } else {
+        pos = pos + to * (remaining / d);
+        remaining = 0.0;
+      }
+    }
+    // Waypoints live inside the margin box, so segments between them do
+    // too; the clamp guards the corners against floating-point drift.
+    pos = Clamp(pos, testbed.config(), motion.wall_margin);
+  }
+  return out;
+}
+
+std::vector<TimedPose> RandomWalkTrajectory(const Testbed& testbed,
+                                            const MotionConfig& motion,
+                                            std::size_t rounds,
+                                            std::uint64_t seed) {
+  const dsp::Rng root = dsp::Rng(seed).Fork("motion-walk");
+  const ScenarioConfig& cfg = testbed.config();
+  const double margin = motion.wall_margin;
+  geom::Vec2 pos = SamplePoint(root.Fork({0}), testbed, margin);
+  double heading =
+      root.Fork({1}).Uniform(0.0, 2.0 * std::numbers::pi_v<double>);
+
+  std::vector<TimedPose> out;
+  out.reserve(rounds);
+  const double step = motion.speed_mps * motion.round_period_s;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    out.push_back({static_cast<double>(i) * motion.round_period_s, pos});
+    heading += root.Fork({2, i}).Gaussian(motion.heading_std_rad);
+    geom::Vec2 next{pos.x + step * std::cos(heading),
+                    pos.y + step * std::sin(heading)};
+    // Reflect off the margin box walls: mirror the overshoot and flip the
+    // matching heading component, so the walk hugs walls instead of
+    // sticking to them.
+    if (next.x < margin || next.x > cfg.room_width - margin) {
+      const double lo = margin, hi = cfg.room_width - margin;
+      next.x = next.x < lo ? 2.0 * lo - next.x : 2.0 * hi - next.x;
+      heading = std::numbers::pi_v<double> - heading;
+    }
+    if (next.y < margin || next.y > cfg.room_height - margin) {
+      const double lo = margin, hi = cfg.room_height - margin;
+      next.y = next.y < lo ? 2.0 * lo - next.y : 2.0 * hi - next.y;
+      heading = -heading;
+    }
+    next = Clamp(next, cfg, margin);
+    if (InsideObstacle(testbed.room(), next)) {
+      // Back out: stay put this round and walk away from the obstacle next
+      // round. Deterministic (no extra draws), and the heading drift keeps
+      // the walk from ping-ponging against the same face forever.
+      heading += std::numbers::pi_v<double>;
+    } else {
+      pos = next;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimedPose> SampleTrajectory(const Testbed& testbed,
+                                        const MotionConfig& motion,
+                                        std::size_t rounds,
+                                        std::uint64_t seed_override) {
+  const std::uint64_t seed =
+      seed_override != 0 ? seed_override : testbed.config().seed;
+  switch (motion.model) {
+    case MotionModel::kWaypoint:
+      return WaypointTrajectory(testbed, motion, rounds, seed);
+    case MotionModel::kRandomWalk:
+      return RandomWalkTrajectory(testbed, motion, rounds, seed);
+    case MotionModel::kStatic:
+      break;
+  }
+  // The paper's methodology: independent positions, bit-identical to the
+  // pre-trajectory pipeline (same stream, same rejection rule).
+  const std::vector<geom::Vec2> positions = testbed.SampleTagPositions(
+      rounds, motion.wall_margin, seed_override);
+  std::vector<TimedPose> out;
+  out.reserve(rounds);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out.push_back({static_cast<double>(i) * motion.round_period_s,
+                   positions[i]});
+  }
+  return out;
+}
+
+}  // namespace bloc::sim

@@ -1,0 +1,41 @@
+// Deterministic tag trajectories over the ray-traced room (DESIGN.md §5g).
+//
+// A trajectory is a sequence of (timestamp, position) poses, one per
+// measurement round; the measurement simulator re-solves the tag's channel
+// at each pose. Every stochastic choice (waypoints, start pose, heading
+// drift) draws from Rng::Fork tuples off the scenario seed, so a trajectory
+// is a pure function of (scenario, rounds, seed) — bit-identical across
+// machines and thread counts, like the rest of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/testbed.h"
+
+namespace bloc::sim {
+
+/// One trajectory sample: where the tag is when round `t_s` starts.
+struct TimedPose {
+  double t_s = 0.0;
+  geom::Vec2 position;
+};
+
+/// Samples a `rounds`-pose trajectory of `testbed`'s tag under `motion`.
+///
+/// kStatic reproduces Testbed::SampleTagPositions bit-for-bit (independent
+/// positions, timestamps at round_period_s spacing), so static datasets
+/// contain the same measurements they always did. kWaypoint walks straight
+/// segments between uniformly sampled waypoints at constant speed, clipped
+/// to the wall margin; kRandomWalk drifts its heading per round, reflecting
+/// off the walls and backing out of obstacles.
+///
+/// `seed_override` (nonzero) decouples the trajectory from the scenario
+/// seed, mirroring SampleTagPositions.
+std::vector<TimedPose> SampleTrajectory(const Testbed& testbed,
+                                        const MotionConfig& motion,
+                                        std::size_t rounds,
+                                        std::uint64_t seed_override = 0);
+
+}  // namespace bloc::sim

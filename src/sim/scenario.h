@@ -29,6 +29,36 @@ struct AnchorLayout {
   std::size_t num_antennas = 4;
 };
 
+/// How the tag moves across measurement rounds (DESIGN.md §5g). The paper
+/// evaluates static points (§8); the motivating applications — pets, keys,
+/// factory assets — are moving targets, so scenarios can also describe a
+/// trajectory that each round samples at the tag's current pose.
+enum class MotionModel : std::uint8_t {
+  /// Independent uniform positions per round (the paper's §8 methodology).
+  kStatic,
+  /// Straight segments between uniformly sampled waypoints at constant
+  /// speed, cycling through the waypoint list.
+  kWaypoint,
+  /// Heading random walk: per-round Gaussian heading drift, reflecting off
+  /// the room walls and backing out of obstacles.
+  kRandomWalk,
+};
+
+struct MotionConfig {
+  MotionModel model = MotionModel::kStatic;
+  /// Tag speed along the trajectory (m/s); ~walking-pet pace by default.
+  double speed_mps = 0.8;
+  /// Wall-clock time between measurement rounds (s). Also the timestamp
+  /// spacing recorded in the dataset for every model, including kStatic.
+  double round_period_s = 0.5;
+  /// Keep-out margin from the walls (and obstacle rejection), metres.
+  double wall_margin = 0.3;
+  /// kWaypoint: number of waypoints sampled per trajectory (cycled).
+  std::size_t waypoint_count = 8;
+  /// kRandomWalk: per-round heading drift std-dev (radians).
+  double heading_std_rad = 0.5;
+};
+
 struct ScenarioConfig {
   double room_width = 6.0;
   double room_height = 5.0;
@@ -50,6 +80,9 @@ struct ScenarioConfig {
   std::size_t payload_len = 20;
 
   std::uint64_t seed = 1;
+
+  /// Tag motion across rounds (trajectory workloads; static by default).
+  MotionConfig motion;
 };
 
 /// The paper's testbed (§7): 5 m x 6 m room, four 4-antenna anchors at the

@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace bloc::track {
+
+namespace {
+
+obs::Counter& RejectedFixesCounter() {
+  static obs::Counter& counter = obs::GetCounter("track.rejected_fixes");
+  return counter;
+}
+
+}  // namespace
 
 KalmanTracker::KalmanTracker(const KalmanConfig& config) : config_(config) {}
 
@@ -52,6 +63,14 @@ bool KalmanTracker::Update(const geom::Vec2& fix, double dt_s) {
     initialized_ = true;
     return true;
   }
+  if (!(dt_s > 0.0)) {
+    // Duplicate round or clock skew: predicting backwards (or by NaN)
+    // would corrupt the covariance, so the fix is dropped whole and the
+    // state keeps its last honest timestamp.
+    ++rejected_;
+    RejectedFixesCounter().Inc();
+    return false;
+  }
   const double q = config_.accel_std * config_.accel_std;
   x_.Predict(dt_s, q);
   y_.Predict(dt_s, q);
@@ -61,12 +80,28 @@ bool KalmanTracker::Update(const geom::Vec2& fix, double dt_s) {
     if (nx * nx + ny * ny >
         config_.gate_sigmas * config_.gate_sigmas) {
       ++rejected_;
+      RejectedFixesCounter().Inc();
       return false;
     }
   }
   x_.Correct(fix.x, r);
   y_.Correct(fix.y, r);
   return true;
+}
+
+KalmanPrediction KalmanTracker::Predict(double dt_s) const {
+  const double dt = dt_s > 0.0 ? dt_s : 0.0;
+  const double q = config_.accel_std * config_.accel_std;
+  KalmanPrediction out;
+  out.position = {x_.pos + x_.vel * dt, y_.pos + y_.vel * dt};
+  out.velocity = {x_.vel, y_.vel};
+  const auto var = [&](const Axis& a) {
+    const double dt2 = dt * dt;
+    return a.p00 + dt * (2.0 * a.p01 + dt * a.p11) + q * dt2 * dt2 / 4.0;
+  };
+  out.position_std = {std::sqrt(std::max(var(x_), 0.0)),
+                      std::sqrt(std::max(var(y_), 0.0))};
+  return out;
 }
 
 geom::Vec2 KalmanTracker::position_std() const {

@@ -21,6 +21,16 @@ struct KalmanConfig {
   double gate_sigmas = 4.0;
 };
 
+/// State extrapolated `dt_s` ahead of the last update, without mutating the
+/// filter — what the gated search reads to place its region before the
+/// round's fix exists.
+struct KalmanPrediction {
+  geom::Vec2 position;
+  geom::Vec2 velocity;
+  /// Per-axis position std-dev of the extrapolated state (grows with dt).
+  geom::Vec2 position_std;
+};
+
 /// 2-D constant-velocity Kalman filter with per-axis decoupling (the motion
 /// and measurement models are axis-independent, so two 2-state filters are
 /// exactly equivalent to one 4-state filter and simpler to verify).
@@ -29,9 +39,17 @@ class KalmanTracker {
   explicit KalmanTracker(const KalmanConfig& config = {});
 
   /// First fix initializes the state; later fixes run predict+update with
-  /// the elapsed time `dt_s`. Returns false when the fix was gated out
-  /// (the prediction still advances).
+  /// the elapsed time `dt_s`. Returns false when the fix was rejected: a
+  /// non-positive dt on an initialized filter (duplicate round or clock
+  /// skew — the state is left untouched so bad timestamps cannot corrupt
+  /// the covariance) or a fix outside the Mahalanobis gate (the prediction
+  /// still advances). Rejections count in rejected_fixes() and the
+  /// `track.rejected_fixes` registry counter.
   bool Update(const geom::Vec2& fix, double dt_s);
+
+  /// Extrapolates the estimate `dt_s` ahead (const: the filter state is
+  /// untouched). Meaningless before the first fix.
+  KalmanPrediction Predict(double dt_s) const;
 
   bool initialized() const { return initialized_; }
   geom::Vec2 position() const { return {x_.pos, y_.pos}; }

@@ -210,6 +210,57 @@ TEST(LocalizationService, PositionsBitIdenticalToSerialEngineViaPoll) {
   service.Stop();
 }
 
+TEST(LocalizationService, PositionStreamCarriesTheTrack) {
+  ServiceOptions options;
+  options.track = true;
+  options.round_period_s = 0.5;
+  LocalizationService service(Rounds().deployment, Config(), options);
+
+  // The callback runs on the single assembler thread; no lock needed.
+  std::vector<PositionUpdate> updates;
+  service.SetUpdateCallback(
+      [&](const PositionUpdate& u) { updates.push_back(u); });
+  service.Start();
+
+  // A stationary tag: the same dataset round five times. Identical fixes
+  // give zero innovation, so the Kalman state converges onto the fix — the
+  // smoothed track must sit exactly on the raw position with ~zero
+  // velocity, and every fix passes the innovation gate.
+  constexpr std::uint64_t kTag = 2;
+  for (std::uint64_t k = 0; k < 5; ++k) SendRound(service, kTag, 0, k);
+  ASSERT_TRUE(service.Drain(kDrain));
+  service.Stop();
+
+  ASSERT_EQ(updates.size(), 5u);
+  for (std::uint64_t k = 0; k < updates.size(); ++k) {
+    const PositionUpdate& u = updates[k];
+    EXPECT_EQ(u.round_id, k);
+    EXPECT_TRUE(u.fix_accepted);
+    ExpectIdentical(u.result, Reference()[0]);
+    EXPECT_NEAR(u.tracked_position.x, u.result.position.x, 1e-9);
+    EXPECT_NEAR(u.tracked_position.y, u.result.position.y, 1e-9);
+    EXPECT_NEAR(u.velocity.Norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(LocalizationService, TrackingOffLeavesRawPositions) {
+  ServiceOptions options;
+  options.track = false;
+  LocalizationService service(Rounds().deployment, Config(), options);
+  service.Start();
+  SendRound(service, 1, 3, 0);
+  ASSERT_TRUE(service.Drain(kDrain));
+  service.Stop();
+
+  const auto update = service.Poll(1);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_FALSE(update->fix_accepted);
+  EXPECT_EQ(update->tracked_position.x, update->result.position.x);
+  EXPECT_EQ(update->tracked_position.y, update->result.position.y);
+  EXPECT_EQ(update->velocity.x, 0.0);
+  EXPECT_EQ(update->velocity.y, 0.0);
+}
+
 TEST(LocalizationService, ConcurrentIngestIntoOneShardLosesNothing) {
   ServiceOptions options;
   options.shards = 1;        // every tag contends on the same ring + mutex

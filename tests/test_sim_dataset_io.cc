@@ -172,8 +172,8 @@ TEST(DatasetIo, GoldenHeaderBytes) {
   EXPECT_EQ(bytes[1], 0xDA);
   EXPECT_EQ(bytes[2], 0x0C);
   EXPECT_EQ(bytes[3], 0xB1);
-  // Format version 1, little-endian u16.
-  EXPECT_EQ(bytes[4], 0x01);
+  // Format version 2, little-endian u16.
+  EXPECT_EQ(bytes[4], 0x02);
   EXPECT_EQ(bytes[5], 0x00);
   // Fingerprint, little-endian u64.
   const std::uint8_t fp_bytes[8] = {0xEF, 0xCD, 0xAB, 0x89,
@@ -388,7 +388,7 @@ TEST(DatasetCorruption, ForeignFileThrowsBadMagic) {
 
 TEST(DatasetCorruption, FutureFormatVersionThrows) {
   net::Buffer bytes = EncodeDataset(SmallDataset(), 1);
-  bytes[4] = 0x02;  // pretend version 2
+  bytes[4] = kDatasetFormatVersion + 1;  // pretend a future version
   // Re-seal the CRC so the version check (not the CRC) is what fires.
   std::uint32_t crc = net::Crc32(std::span(bytes).first(bytes.size() - 4));
   for (int i = 0; i < 4; ++i) {
@@ -544,8 +544,94 @@ TEST(StreamExperiment, WriterSinkMatchesOneShotEncode) {
 
 TEST(StreamExperiment, WriterMisuseThrows) {
   DatasetWriter writer(1);
-  EXPECT_THROW(writer.Append({0, 0}, {}), std::logic_error);
+  EXPECT_THROW(writer.Append(0.0, {0, 0}, {}), std::logic_error);
   EXPECT_THROW(writer.Finish(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Time dimension (format v2) and v1 backward compatibility
+// ---------------------------------------------------------------------------
+
+TEST(DatasetIo, TimestampsRoundTrip) {
+  ScenarioConfig scenario = PaperTestbed(9);
+  scenario.motion.model = MotionModel::kWaypoint;
+  scenario.motion.round_period_s = 0.25;
+  const Dataset dataset = GenerateDataset(scenario, SmallOptions());
+  ASSERT_EQ(dataset.timestamps.size(), dataset.rounds.size());
+  for (std::size_t i = 0; i < dataset.timestamps.size(); ++i) {
+    EXPECT_EQ(dataset.timestamps[i], 0.25 * static_cast<double>(i));
+  }
+  const LoadedDataset loaded = DecodeDataset(EncodeDataset(dataset, 5));
+  EXPECT_EQ(loaded.dataset.timestamps, dataset.timestamps);
+}
+
+/// Re-encodes a v2 file image as the v1 layout it evolved from: the same
+/// header with version 1 and the same per-round bodies minus the leading
+/// f64 timestamp, resealed with a fresh CRC. Exercises the real pre-v2
+/// byte layout without keeping a generator for the dead format around.
+net::Buffer AsV1FileImage(const Dataset& dataset, std::uint64_t fp) {
+  net::WireWriter w;
+  w.U32(kDatasetMagic);
+  w.U16(1);
+  w.U64(fp);
+  w.U64(dataset.rounds.size());
+  w.U64(0);  // payload length, patched below
+  w.U32(static_cast<std::uint32_t>(dataset.deployment.anchors.size()));
+  for (const core::AnchorPose& pose : dataset.deployment.anchors) {
+    w.U32(pose.id);
+    w.Bool(pose.is_master);
+    w.F64(pose.geometry.origin.x);
+    w.F64(pose.geometry.origin.y);
+    w.F64(pose.geometry.axis_radians);
+    w.F64(pose.geometry.spacing_m);
+    w.U32(static_cast<std::uint32_t>(pose.geometry.num_antennas));
+  }
+  w.F64(dataset.room_grid.x_min);
+  w.F64(dataset.room_grid.y_min);
+  w.F64(dataset.room_grid.x_max);
+  w.F64(dataset.room_grid.y_max);
+  w.F64(dataset.room_grid.resolution);
+  for (std::size_t i = 0; i < dataset.rounds.size(); ++i) {
+    w.F64(dataset.truths[i].x);  // v1 rounds start at the truth pose
+    w.F64(dataset.truths[i].y);
+    net::EncodeMeasurementRound(dataset.rounds[i], w);
+  }
+  net::Buffer bytes = w.Take();
+  const std::uint64_t payload_len = bytes.size() - kDatasetHeaderBytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[22 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  }
+  const std::uint32_t crc = net::Crc32(bytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return bytes;
+}
+
+TEST(DatasetIo, V1FileLoadsAsSinglePoseTrajectory) {
+  // The backward-compat contract: every pre-trajectory dataset still loads,
+  // with measurements and truths bit-identical and timestamps synthesized
+  // at 1 Hz.
+  const Dataset dataset = SmallDataset();
+  const LoadedDataset loaded = DecodeDataset(AsV1FileImage(dataset, 77));
+  EXPECT_EQ(loaded.fingerprint, 77u);
+  ExpectDatasetsBitIdentical(dataset, loaded.dataset);
+  ASSERT_EQ(loaded.dataset.timestamps.size(), dataset.rounds.size());
+  for (std::size_t i = 0; i < loaded.dataset.timestamps.size(); ++i) {
+    EXPECT_EQ(loaded.dataset.timestamps[i], static_cast<double>(i));
+  }
+}
+
+TEST(DatasetIo, V1SingleBitFlipsStillThrow) {
+  // The CRC guarantee is format-wide, not v2-only.
+  const net::Buffer original = AsV1FileImage(SmallDataset(), 1);
+  for (std::size_t byte = 0; byte < original.size();
+       byte += (byte < 64 || byte + 8 >= original.size() ? 1 : 499)) {
+    net::Buffer corrupt = original;
+    corrupt[byte] ^= static_cast<std::uint8_t>(1u << (byte % 8));
+    EXPECT_THROW(DecodeDataset(corrupt), net::WireError) << "byte=" << byte;
+  }
 }
 
 }  // namespace

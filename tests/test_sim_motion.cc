@@ -1,0 +1,120 @@
+// Motion-model tests (DESIGN.md §5g): trajectories are pure functions of
+// (scenario, rounds, seed) — bit-identical across calls and measurement
+// thread counts — the static model reproduces the paper's independent
+// per-round sampling exactly, and every model respects the wall margin.
+#include "sim/motion.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/dataset_io.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "sim/testbed.h"
+
+namespace bloc::sim {
+namespace {
+
+TEST(Motion, StaticReproducesSampleTagPositions) {
+  const ScenarioConfig scenario = PaperTestbed(3);
+  const Testbed testbed(scenario);
+  MotionConfig motion;  // kStatic
+  motion.round_period_s = 0.5;
+
+  const std::vector<TimedPose> traj = SampleTrajectory(testbed, motion, 12);
+  const std::vector<geom::Vec2> reference = testbed.SampleTagPositions(12);
+  ASSERT_EQ(traj.size(), 12u);
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_EQ(traj[i].position.x, reference[i].x) << "round " << i;
+    EXPECT_EQ(traj[i].position.y, reference[i].y) << "round " << i;
+    EXPECT_DOUBLE_EQ(traj[i].t_s, 0.5 * static_cast<double>(i));
+  }
+}
+
+TEST(Motion, TrajectoriesAreDeterministicAndSeedDependent) {
+  const Testbed testbed(PaperTestbed(11));
+  for (const MotionModel model :
+       {MotionModel::kWaypoint, MotionModel::kRandomWalk}) {
+    MotionConfig motion;
+    motion.model = model;
+    const std::vector<TimedPose> a = SampleTrajectory(testbed, motion, 50);
+    const std::vector<TimedPose> b = SampleTrajectory(testbed, motion, 50);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].position.x, b[i].position.x);
+      EXPECT_EQ(a[i].position.y, b[i].position.y);
+      EXPECT_EQ(a[i].t_s, b[i].t_s);
+    }
+    // A different seed override moves the trajectory.
+    const std::vector<TimedPose> c =
+        SampleTrajectory(testbed, motion, 50, /*seed_override=*/99);
+    bool any_differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      any_differs |= a[i].position.x != c[i].position.x ||
+                     a[i].position.y != c[i].position.y;
+    }
+    EXPECT_TRUE(any_differs);
+  }
+}
+
+TEST(Motion, EveryModelRespectsTheWallMargin) {
+  const ScenarioConfig scenario = PaperTestbed(7);
+  const Testbed testbed(scenario);
+  for (const MotionModel model :
+       {MotionModel::kStatic, MotionModel::kWaypoint,
+        MotionModel::kRandomWalk}) {
+    MotionConfig motion;
+    motion.model = model;
+    motion.wall_margin = 0.3;
+    const std::vector<TimedPose> traj = SampleTrajectory(testbed, motion, 400);
+    const double eps = 1e-9;
+    for (const TimedPose& pose : traj) {
+      EXPECT_GE(pose.position.x, motion.wall_margin - eps);
+      EXPECT_LE(pose.position.x,
+                scenario.room_width - motion.wall_margin + eps);
+      EXPECT_GE(pose.position.y, motion.wall_margin - eps);
+      EXPECT_LE(pose.position.y,
+                scenario.room_height - motion.wall_margin + eps);
+    }
+  }
+}
+
+TEST(Motion, WaypointMovesAtConfiguredSpeed) {
+  const Testbed testbed(PaperTestbed(5));
+  MotionConfig motion;
+  motion.model = MotionModel::kWaypoint;
+  motion.speed_mps = 0.8;
+  motion.round_period_s = 0.5;
+  const std::vector<TimedPose> traj = SampleTrajectory(testbed, motion, 200);
+  const double max_step = motion.speed_mps * motion.round_period_s;
+  bool any_moved = false;
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    const double step = geom::Distance(traj[i].position, traj[i - 1].position);
+    // Constant speed along segments; a round that crosses a waypoint corner
+    // covers the same arc length but less displacement.
+    EXPECT_LE(step, max_step + 1e-9) << "round " << i;
+    any_moved |= step > 0.5 * max_step;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Motion, MovingDatasetBitIdenticalAcrossThreadCounts) {
+  ScenarioConfig scenario = PaperTestbed(9);
+  scenario.motion.model = MotionModel::kWaypoint;
+  DatasetOptions options;
+  options.locations = 5;
+
+  options.measurement_threads = 1;
+  const Dataset serial = GenerateDataset(scenario, options);
+  options.measurement_threads = 4;
+  const Dataset threaded = GenerateDataset(scenario, options);
+
+  // The serialized image covers truths, timestamps, and every CSI sample,
+  // so buffer equality is full bit-parity in one comparison.
+  const std::uint64_t fp = Fingerprint(scenario, options);
+  EXPECT_EQ(EncodeDataset(serial, fp), EncodeDataset(threaded, fp));
+}
+
+}  // namespace
+}  // namespace bloc::sim

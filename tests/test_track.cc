@@ -95,6 +95,51 @@ TEST(Kalman, GatingDisabledAcceptsEverything) {
   EXPECT_EQ(kf.rejected_fixes(), 0u);
 }
 
+TEST(Kalman, RejectsNonPositiveDtOnInitializedFilter) {
+  KalmanTracker kf;
+  EXPECT_TRUE(kf.Update({1.0, 2.0}, -5.0));  // first fix: dt is irrelevant
+  // A duplicate round (dt == 0) or clock skew (dt < 0) must not run a
+  // zero-or-negative-time predict into the covariance.
+  EXPECT_FALSE(kf.Update({1.5, 2.5}, 0.0));
+  EXPECT_FALSE(kf.Update({1.5, 2.5}, -1.0));
+  EXPECT_EQ(kf.rejected_fixes(), 2u);
+  // The state is untouched by the rejections...
+  EXPECT_EQ(kf.position().x, 1.0);
+  EXPECT_EQ(kf.position().y, 2.0);
+  // ...and a well-formed fix still updates.
+  EXPECT_TRUE(kf.Update({1.1, 2.1}, 0.5));
+}
+
+TEST(Kalman, PredictExtrapolatesWithoutMutating) {
+  KalmanTracker kf;
+  const geom::Vec2 v{0.4, -0.2};
+  geom::Vec2 p{1.0, 3.0};
+  kf.Update(p, 0.0);
+  for (int i = 0; i < 30; ++i) {
+    p = p + v * 0.5;
+    kf.Update(p, 0.5);
+  }
+  const geom::Vec2 pos_before = kf.position();
+  const geom::Vec2 vel_before = kf.velocity();
+
+  const KalmanPrediction pred = kf.Predict(1.0);
+  // Constant-velocity extrapolation from the current state...
+  EXPECT_NEAR(pred.position.x, pos_before.x + vel_before.x, 1e-12);
+  EXPECT_NEAR(pred.position.y, pos_before.y + vel_before.y, 1e-12);
+  EXPECT_EQ(pred.velocity.x, vel_before.x);
+  EXPECT_EQ(pred.velocity.y, vel_before.y);
+  // ...whose uncertainty grows with the horizon, anchored at the filter's
+  // current std for dt = 0.
+  EXPECT_NEAR(kf.Predict(0.0).position_std.x, kf.position_std().x, 1e-12);
+  EXPECT_GT(pred.position_std.x, kf.position_std().x);
+  EXPECT_GT(kf.Predict(2.0).position_std.x, pred.position_std.x);
+  // The filter itself is untouched.
+  EXPECT_EQ(kf.position().x, pos_before.x);
+  EXPECT_EQ(kf.position().y, pos_before.y);
+  EXPECT_EQ(kf.velocity().x, vel_before.x);
+  EXPECT_EQ(kf.velocity().y, vel_before.y);
+}
+
 TEST(Kalman, UncertaintyGrowsWithoutMeasurements) {
   KalmanTracker kf;
   kf.Update({0.0, 0.0}, 0.0);
