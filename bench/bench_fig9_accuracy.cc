@@ -17,9 +17,14 @@ int main(int argc, char** argv) {
 
   const sim::Dataset& dataset = driver.dataset();
 
-  const std::vector<double> bloc_errors =
-      sim::EvaluateBloc(dataset, driver.LocalizerConfig(dataset),
-                        setup.common.threads);
+  // Repeated, timed evaluation (bench::Stats): accuracy is deterministic
+  // across runs; the per-round timing carries its own noise estimate.
+  std::vector<double> bloc_errors;
+  const bench::Stats eval_ms = bench::MeasureEvaluation(
+      setup, dataset.rounds.size(), bloc_errors, [&] {
+        return sim::EvaluateBloc(dataset, driver.LocalizerConfig(dataset),
+                                 setup.common.threads);
+      });
 
   baseline::AoaBaselineConfig aoa;
   aoa.grid = dataset.room_grid;
@@ -58,6 +63,12 @@ int main(int argc, char** argv) {
   }
   eval::WriteCsv(setup.csv_path, {"location", "bloc_m", "aoa_m", "rssi_m"},
                  rows);
+  std::cout << "  eval: " << eval::Fmt(eval_ms.p50, 3) << " ms/round (p50 of "
+            << eval_ms.reps << " reps)\n";
+  if (!setup.bench_json.empty()) {
+    bench::WriteFigureJson(setup.bench_json, "fig9_accuracy", setup,
+                           bloc_stats, eval_ms);
+  }
   bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -60,15 +60,31 @@ int main(int argc, char** argv) {
 
   std::vector<eval::NamedCdf> series;
   std::vector<std::vector<std::string>> rows;
+  bench::Stats eval_ms;
+  eval::ErrorStats full_anchor_stats;
   for (const std::size_t count : {4u, 3u, 2u}) {
     // BLoc: subsets must contain the master (it terminates the connection).
     std::vector<std::vector<double>> bloc_runs;
     for (const auto& subset : SubsetsWith(all_ids, count, master_id)) {
       core::LocalizerConfig config = driver.LocalizerConfig(dataset);
       config.allowed_anchors = subset;
-      bloc_runs.push_back(sim::EvaluateBloc(dataset, config, setup.common.threads));
+      if (count == all_ids.size()) {
+        // The full-anchor run doubles as the timed bench::Stats sample.
+        std::vector<double> errors;
+        eval_ms = bench::MeasureEvaluation(
+            setup, dataset.rounds.size(), errors, [&] {
+              return sim::EvaluateBloc(dataset, config, setup.common.threads);
+            });
+        bloc_runs.push_back(std::move(errors));
+      } else {
+        bloc_runs.push_back(
+            sim::EvaluateBloc(dataset, config, setup.common.threads));
+      }
     }
     const std::vector<double> bloc_errors = AverageOverSubsets(bloc_runs);
+    if (count == all_ids.size()) {
+      full_anchor_stats = eval::ComputeStats(bloc_errors);
+    }
 
     // AoA baseline: any subset works.
     std::vector<std::vector<double>> aoa_runs;
@@ -103,6 +119,10 @@ int main(int argc, char** argv) {
                  {"anchors", "bloc_median_cm", "bloc_p90_cm", "aoa_median_cm",
                   "aoa_p90_cm"},
                  rows);
+  if (!setup.bench_json.empty()) {
+    bench::WriteFigureJson(setup.bench_json, "fig9_anchors", setup,
+                           full_anchor_stats, eval_ms);
+  }
   bench::FinishObservability(driver.setup());
   return 0;
 }

@@ -22,10 +22,23 @@
 // regressions can be told from run-to-run noise.
 //
 // The obs sweep measures the metrics substrate itself: fig9 LocateBatch
-// with metric recording enabled vs runtime-disabled. --obs-guard=PCT turns
-// it into a regression gate (exit 1 when enabled costs more than PCT%).
-// --metrics-json=PATH / --trace=PATH export the RunReport and Chrome trace
-// of the whole bench run.
+// with metric recording enabled vs runtime-disabled, with a live
+// serve::AdminServer attached (one /metrics self-scrape proves the path).
+// --obs-guard=PCT turns it into a regression gate (exit 1 when enabled
+// costs more than PCT%). --metrics-json=PATH / --trace=PATH export the
+// RunReport and Chrome trace of the whole bench run.
+//
+// --mode=regress replays committed BENCH_*.json baselines
+// (--baseline=PATH, repeatable): each file's sections are re-measured and
+// compared with noise-aware tolerances (--regress-tol=PCT, default 35;
+// widened by 2x the baseline's own coefficient of variation). Only
+// machine-independent ratios gate by default; --regress-abs also gates
+// absolute timings (same-machine runs). Exit 1 on any FAIL line.
+//
+// --admin-port=N starts the admin HTTP endpoint for the soak sweep so an
+// external client can scrape /metrics and /healthz mid-run; --admin-scrape
+// additionally runs an in-bench scrape client per sweep point validating
+// interval counter deltas, bucket monotonicity and the health verdict.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -35,13 +48,18 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "baseline.h"
 #include "bench_util.h"
 #include "net/transport.h"
+#include "scrape.h"
+#include "serve/admin.h"
 #include "serve/service.h"
 #include "stats.h"
 #include "track/tracked_localizer.h"
@@ -51,6 +69,7 @@
 #include "dsp/fft.h"
 #include "net/messages.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "phy/csi_extract.h"
 #include "phy/packet.h"
@@ -677,6 +696,17 @@ ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
                                   {.threads = 1});
   engine.LocateBatch(dataset.rounds);  // warm workspaces and plan caches
 
+  // The overhead budget must hold with the admin endpoint attached: its
+  // accept thread stays up for the whole timed section, and one /metrics
+  // self-scrape proves the exposition path end to end before timing starts.
+  serve::AdminServer admin;
+  const std::string scrape = bloc::bench::HttpGet(admin.port(), "/metrics");
+  const bool scrape_ok = bloc::bench::HttpStatus(scrape) == 200;
+  if (!scrape_ok) {
+    std::cerr << "bench_perf: admin /metrics self-scrape failed on port "
+              << admin.port() << "\n";
+  }
+
   ObsOverhead result;
   obs::SetMetricsEnabled(true);
   result.enabled_stats = bloc::bench::MeasureRepeated(
@@ -695,6 +725,11 @@ ObsOverhead RunObsOverheadCheck(std::size_t batch_rounds) {
                         result.disabled_ms_per_round;
 
   std::cout << "\n=== observability overhead (fig9 workload, 1 thread) ===\n"
+            << "  admin endpoint    127.0.0.1:" << admin.port()
+            << " (/metrics self-scrape "
+            << (scrape_ok ? "ok, " + std::to_string(scrape.size()) + " bytes"
+                          : std::string("FAILED"))
+            << ")\n"
             << "  metrics enabled   " << result.enabled_ms_per_round
             << " ms/round (p50 " << result.enabled_stats.p50 << ", stddev "
             << result.enabled_stats.stddev << ")\n"
@@ -891,40 +926,110 @@ struct SoakResult {
   double worst_p99_us = 0.0;
 };
 
-using HistBuckets = std::array<std::uint64_t, obs::Histogram::kBuckets>;
-
-HistBuckets SnapshotBuckets(const obs::Histogram& hist) {
-  HistBuckets out{};
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = hist.BucketCount(i);
-  return out;
+/// Interval-local latency quantile between two registry snapshots
+/// (obs::Snapshot::Capture() around the measured passes). This used to be
+/// a hand-rolled bucket subtraction here; obs/snapshot.h is that exact
+/// primitive promoted to the library. Under BLOC_OBS_OFF the snapshots
+/// are empty and every quantile reads 0.
+double IntervalQuantile(const obs::Delta& delta, std::string_view name,
+                        double q) {
+  const obs::HistogramDelta* hist = delta.FindHistogram(name);
+  return hist == nullptr ? 0.0 : hist->Quantile(q);
 }
 
-/// Quantile over the samples recorded between two bucket snapshots of one
-/// cumulative registry histogram (linear interpolation inside the bucket,
-/// like obs::Histogram::Quantile but scoped to this sweep point).
-double QuantileFromDelta(const HistBuckets& before, const HistBuckets& after,
-                         double q) {
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < after.size(); ++i) total += after[i] - before[i];
-  if (total == 0) return 0.0;
-  const double target = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (std::size_t i = 0; i < after.size(); ++i) {
-    const std::uint64_t count = after[i] - before[i];
-    if (count == 0) continue;
-    if (cum + static_cast<double>(count) >= target) {
-      const double frac =
-          std::clamp((target - cum) / static_cast<double>(count), 0.0, 1.0);
-      const double lo =
-          static_cast<double>(obs::Histogram::BucketLowerBound(i));
-      const double hi = static_cast<double>(
-          std::min(obs::Histogram::BucketUpperBound(i),
-                   obs::Histogram::BucketLowerBound(i) * 2 + 1));
-      return lo + frac * (hi - lo);
+/// One in-run scrape-validation pass (--admin-scrape): what an external
+/// Prometheus client sees mid-soak. Two /metrics scrapes a beat apart must
+/// expose a clean line protocol, non-decreasing counters and monotone
+/// cumulative histogram buckets with consistent interval quantiles, and
+/// /healthz must answer 200 (healthy or warming). Returns failure strings.
+std::vector<std::string> ScrapeAdminMidRun(std::uint16_t port) {
+  using bloc::bench::FindSample;
+  using bloc::bench::PromSample;
+  std::vector<std::string> failures;
+  const auto scrape = [&](std::vector<PromSample>& samples) {
+    const std::string response = bloc::bench::HttpGet(port, "/metrics");
+    if (bloc::bench::HttpStatus(response) != 200) {
+      failures.push_back("/metrics scrape did not answer 200");
+      return false;
     }
-    cum += static_cast<double>(count);
+    std::vector<std::string> malformed;
+    samples = bloc::bench::ParsePrometheus(bloc::bench::HttpBody(response),
+                                           &malformed);
+    for (const std::string& line : malformed) {
+      failures.push_back("malformed exposition line: " + line);
+    }
+    return malformed.empty();
+  };
+
+  std::vector<PromSample> first, second;
+  if (!scrape(first)) return failures;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (!scrape(second)) return failures;
+
+  // Counters only move forward between scrapes.
+  for (const char* name :
+       {"bloc_serve_admitted", "bloc_serve_localized_rounds"}) {
+    const PromSample* a = FindSample(first, name);
+    const PromSample* b = FindSample(second, name);
+    if (a == nullptr || b == nullptr) {
+      failures.push_back(std::string(name) + " missing from a scrape");
+    } else if (b->value < a->value) {
+      failures.push_back(std::string(name) + " went backwards between "
+                         "scrapes");
+    }
   }
-  return static_cast<double>(obs::Histogram::BucketUpperBound(after.size()));
+
+  // Cumulative buckets are monotone in le within one scrape and in time
+  // across scrapes; the interval quantiles from the deltas must be ordered.
+  const auto buckets = [](const std::vector<PromSample>& samples) {
+    std::vector<double> out;  // in exposition order (ascending le, then +Inf)
+    for (const PromSample& s : samples) {
+      if (s.name == "bloc_serve_e2e_latency_us_bucket") out.push_back(s.value);
+    }
+    return out;
+  };
+  const std::vector<double> b1 = buckets(first);
+  const std::vector<double> b2 = buckets(second);
+  if (b2.empty()) {
+    failures.push_back("bloc_serve_e2e_latency_us_bucket missing");
+    return failures;
+  }
+  for (std::size_t i = 1; i < b2.size(); ++i) {
+    if (b2[i] < b2[i - 1]) {
+      failures.push_back("cumulative latency buckets not monotone in le");
+      break;
+    }
+  }
+  if (b1.size() == b2.size()) {
+    for (std::size_t i = 0; i < b2.size(); ++i) {
+      if (b2[i] < b1[i]) {
+        failures.push_back("a cumulative latency bucket shrank between "
+                           "scrapes");
+        return failures;
+      }
+    }
+    // Interval quantiles from the cumulative-bucket deltas: the first
+    // bucket whose interval count reaches the rank. p99 >= p50 by
+    // construction of a correct exposition.
+    const double total = b2.back() - b1.back();
+    const auto interval_bucket = [&](double q) {
+      const double target = q * total;
+      for (std::size_t i = 0; i < b2.size(); ++i) {
+        if (b2[i] - b1[i] >= target) return static_cast<double>(i);
+      }
+      return static_cast<double>(b2.size());
+    };
+    if (total > 0.0 && interval_bucket(0.99) < interval_bucket(0.50)) {
+      failures.push_back("interval p99 bucket below interval p50 bucket");
+    }
+  }
+
+  const std::string health = bloc::bench::HttpGet(port, "/healthz");
+  if (bloc::bench::HttpStatus(health) != 200) {
+    failures.push_back("/healthz did not answer 200 mid-run: " +
+                       bloc::bench::HttpBody(health));
+  }
+  return failures;
 }
 
 /// One load-generation pass: `producers` threads push every frame of every
@@ -1041,7 +1146,11 @@ std::vector<std::vector<std::size_t>> MakePicks(std::size_t tags,
   return picks;
 }
 
-SoakResult RunSoakSweep(const SoakConfig& config) {
+/// `admin` (optional) is attached to each sweep point's service so external
+/// clients can scrape /metrics and /healthz mid-run; `scrape_failures`
+/// non-null additionally runs the in-bench scrape client per sweep point.
+SoakResult RunSoakSweep(const SoakConfig& config, serve::AdminServer* admin,
+                        std::vector<std::string>* scrape_failures) {
   std::cerr << "generating fig9 workload (" << config.dataset_locations
             << " locations) for the soak sweep...\n";
   sim::DatasetOptions options;
@@ -1058,7 +1167,6 @@ SoakResult RunSoakSweep(const SoakConfig& config) {
 
   SoakResult result;
   result.rounds_per_tag = config.rounds_per_tag;
-  obs::Histogram& latency_hist = obs::GetHistogram("serve.e2e_latency_us");
 
   std::cout << "\n=== multi-tenant soak (fig9 rounds, "
             << config.rounds_per_tag << " rounds/tag, "
@@ -1101,8 +1209,18 @@ SoakResult RunSoakSweep(const SoakConfig& config) {
           }
         });
         service.Start();
+        if (admin != nullptr) admin->Attach(&service);
 
-        const HistBuckets before = SnapshotBuckets(latency_hist);
+        // The in-bench scrape client runs concurrently with the measured
+        // passes — exactly what an external Prometheus would do.
+        std::thread scraper;
+        std::vector<std::string> point_failures;
+        if (admin != nullptr && scrape_failures != nullptr) {
+          scraper = std::thread(
+              [&] { point_failures = ScrapeAdminMidRun(admin->port()); });
+        }
+
+        const obs::Snapshot before = obs::Snapshot::Capture();
         std::atomic<std::uint64_t> retries{0};
         const bloc::bench::Stats stats = bloc::bench::MeasureRepeated(
             config.warmup, config.reps, [&] {
@@ -1111,17 +1229,28 @@ SoakResult RunSoakSweep(const SoakConfig& config) {
                               config.rounds_per_tag, retries);
               return static_cast<double>(tags * config.rounds_per_tag) / sec;
             });
-        const HistBuckets after = SnapshotBuckets(latency_hist);
+        const obs::Delta delta =
+            obs::Delta::Between(before, obs::Snapshot::Capture());
+        if (scraper.joinable()) scraper.join();
+        if (admin != nullptr) admin->Attach(nullptr);
         service.Stop();
+        if (scrape_failures != nullptr) {
+          for (const std::string& failure : point_failures) {
+            scrape_failures->push_back(
+                "tags=" + std::to_string(tags) + " shards=" +
+                std::to_string(shards) + ": " + failure);
+          }
+        }
 
         SoakPoint point;
         point.tags = tags;
         point.shards = service.shard_count();
         point.producers = producers;
         point.rounds_per_sec = stats;
-        point.p50_us = QuantileFromDelta(before, after, 0.50);
-        point.p99_us = QuantileFromDelta(before, after, 0.99);
-        point.p999_us = QuantileFromDelta(before, after, 0.999);
+        point.p50_us = IntervalQuantile(delta, "serve.e2e_latency_us", 0.50);
+        point.p99_us = IntervalQuantile(delta, "serve.e2e_latency_us", 0.99);
+        point.p999_us =
+            IntervalQuantile(delta, "serve.e2e_latency_us", 0.999);
         point.retries = retries.load();
         point.counters = service.Counters();
         point.updates = updates.load();
@@ -1507,6 +1636,129 @@ void WriteSweepJson(const std::string& path,
   std::cout << "  wrote " << path << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Regress mode (--mode=regress): replay committed BENCH_*.json baselines.
+// Each section a baseline records is re-measured once (shared across
+// baseline files) and gated through bench::RegressGate. Sections whose
+// workloads have their own dedicated CI jobs (soak, wire, full sweeps) are
+// logged as skipped rather than silently ignored.
+
+std::size_t RunRegress(const std::vector<std::string>& paths, double tol_pct,
+                       bool gate_abs, std::size_t sweep_rounds,
+                       const bloc::bench::CommonFlags& common) {
+  using bloc::bench::BaselineCv;
+  using bloc::bench::JsonValue;
+  bloc::bench::RegressGate gate(tol_pct);
+  std::optional<KernelComparison> kernels;
+  std::optional<SearchComparison> search;
+  std::optional<ObsOverhead> obs_overhead;
+
+  for (const std::string& path : paths) {
+    std::cout << "\n=== regress vs " << path << " ===\n";
+    const std::optional<JsonValue> root = bloc::bench::ParseJsonFile(path);
+    if (!root) {
+      std::cerr << "bench_perf: cannot read or parse baseline " << path
+                << "\n";
+      gate.Zero(path + " (parse failure)", 1.0);
+      continue;
+    }
+
+    if (const JsonValue* base = root->Find("likelihood_map")) {
+      if (!kernels) kernels = RunKernelComparison();
+      gate.AtLeast("likelihood_map.speedup", base->Number("speedup"),
+                   kernels->speedup);
+      if (gate_abs) {
+        gate.AtMost("likelihood_map.steering_plan_ms_per_map",
+                    base->Number("steering_plan_ms_per_map"),
+                    kernels->plan_ms_per_map);
+      }
+    }
+
+    if (const JsonValue* base = root->Find("search")) {
+      if (!search) search = RunSearchComparison(common.coarse_stride);
+      gate.Zero("search.parity_mismatches",
+                static_cast<double>(search->parity_mismatches));
+      gate.AtMost("search.evaluated_fraction",
+                  base->Number("evaluated_fraction"),
+                  search->evaluated_fraction);
+      gate.AtLeast("search.speedup", base->Number("speedup"),
+                   search->speedup,
+                   BaselineCv(*base, "exhaustive_stats") +
+                       BaselineCv(*base, "coarse_stats"));
+      if (gate_abs) {
+        gate.AtMost("search.coarse_ms_per_map",
+                    base->Number("coarse_ms_per_map"),
+                    search->coarse_ms_per_map,
+                    BaselineCv(*base, "coarse_stats"));
+      }
+    }
+
+    if (const JsonValue* base = root->Find("observability")) {
+      if (!obs_overhead) obs_overhead = RunObsOverheadCheck(sweep_rounds);
+      // Overhead percentages are noisy near zero: the budget is the larger
+      // of the absolute 5% ceiling and baseline + 5 points.
+      gate.Budget("observability.overhead_pct",
+                  std::max(5.0, base->Number("overhead_pct") + 5.0),
+                  obs_overhead->overhead_pct);
+    }
+
+    if (const JsonValue* base = root->Find("figure")) {
+      const JsonValue* name_node = base->Find("name");
+      const std::string name =
+          name_node != nullptr ? name_node->str : std::string("figure");
+      const std::size_t locations =
+          static_cast<std::size_t>(base->Number("locations", 100));
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(base->Number("seed", 1));
+      const std::size_t threads =
+          static_cast<std::size_t>(base->Number("threads", 1));
+      std::cerr << "regenerating " << name << " workload (" << locations
+                << " locations, seed " << seed << ")...\n";
+      sim::DatasetOptions options;
+      options.locations = locations;
+      const sim::Dataset ds =
+          sim::GenerateDataset(sim::PaperTestbed(seed), options);
+      core::LocalizerConfig config = sim::PaperLocalizerConfig(ds);
+      common.Apply(config);
+      std::vector<double> errors;
+      const bloc::bench::Stats eval_ms = bloc::bench::MeasureRepeated(
+          1, 3, [&] {
+            const auto t0 = std::chrono::steady_clock::now();
+            errors = sim::EvaluateBloc(ds, config, threads);
+            const std::chrono::duration<double, std::milli> ms =
+                std::chrono::steady_clock::now() - t0;
+            return ms.count() /
+                   static_cast<double>(std::max<std::size_t>(
+                       ds.rounds.size(), 1));
+          });
+      const eval::ErrorStats stats = eval::ComputeStats(errors);
+      // Accuracy is deterministic for a fixed seed: a tight 10% band
+      // catches algorithmic regressions without re-tuning the gate.
+      gate.AtMost(name + ".median_error_m", base->Number("median_error_m"),
+                  stats.median, 0.0, 10.0);
+      gate.AtMost(name + ".p90_error_m", base->Number("p90_error_m"),
+                  stats.p90, 0.0, 10.0);
+      if (gate_abs) {
+        gate.AtMost(name + ".eval_ms_per_round",
+                    base->Number("eval_ms_per_round.p50"), eval_ms.p50,
+                    BaselineCv(*base, "eval_ms_per_round"));
+      }
+    }
+
+    for (const char* section :
+         {"fullphy_measurement", "fullphy_results", "dataset_store", "track",
+          "soak", "soak_wire", "results"}) {
+      if (root->Find(section) != nullptr) {
+        gate.Skip(section, "covered by its own CI job, not re-run here");
+      }
+    }
+  }
+
+  std::cout << "\n=== regress summary: " << gate.checks() << " checks, "
+            << gate.failures() << " failures ===\n";
+  return gate.failures();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1516,7 +1768,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bloc::bench::CommonFlags common;
   std::string mode = "all";  // all | localize | fullphy | dataset | obs |
-                             // search | track | soak
+                             // search | track | soak | regress
   std::size_t sweep_rounds = 8;
   std::size_t dataset_locations = 100;
   std::size_t track_locations = 100;
@@ -1528,6 +1780,11 @@ int main(int argc, char** argv) {
   bool soak_wire = false;
   bool soak_guard = false;
   double soak_guard_p99_ms = -1.0;  // <0: no latency budget
+  int admin_port = -1;              // <0: no admin endpoint
+  bool admin_scrape = false;
+  std::vector<std::string> baselines;
+  double regress_tol_pct = 35.0;
+  bool regress_abs = false;
   const auto parse_csv = [](std::string_view v) {
     std::vector<std::size_t> out;
     while (!v.empty()) {
@@ -1591,14 +1848,24 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--soak-guard=")) {
       soak_guard = true;
       soak_guard_p99_ms = std::stod(std::string(arg.substr(13)));
+    } else if (arg.starts_with("--admin-port=")) {
+      admin_port = std::stoi(std::string(arg.substr(13)));
+    } else if (arg == "--admin-scrape") {
+      admin_scrape = true;
+    } else if (arg.starts_with("--baseline=")) {
+      baselines.emplace_back(arg.substr(11));
+    } else if (arg.starts_with("--regress-tol=")) {
+      regress_tol_pct = std::stod(std::string(arg.substr(14)));
+    } else if (arg == "--regress-abs") {
+      regress_abs = true;
     } else if (arg.starts_with("--mode=")) {
       mode = arg.substr(7);
       if (mode != "all" && mode != "localize" && mode != "fullphy" &&
           mode != "dataset" && mode != "obs" && mode != "search" &&
-          mode != "track" && mode != "soak") {
+          mode != "track" && mode != "soak" && mode != "regress") {
         std::cerr << "bench_perf: unknown --mode=" << mode
                   << " (expected all, localize, fullphy, dataset, obs, "
-                     "search, track or soak)\n";
+                     "search, track, soak or regress)\n";
         return 1;
       }
     } else if (arg == "--no-micro") {
@@ -1608,6 +1875,7 @@ int main(int argc, char** argv) {
     }
   }
   common.ApplyStartup();
+  if (mode == "regress") run_micro = false;  // pure gate, no micro section
   if (run_micro) {
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
@@ -1639,6 +1907,31 @@ int main(int argc, char** argv) {
   // for the TCP-loopback smoke.
   const bool run_soak = mode == "soak" && !soak_wire;
   const bool run_wire = mode == "soak" && soak_wire;
+  if (mode == "regress") {
+    if (baselines.empty()) {
+      std::cerr << "bench_perf: --mode=regress needs at least one "
+                   "--baseline=PATH\n";
+      return 1;
+    }
+    const std::size_t failures = RunRegress(baselines, regress_tol_pct,
+                                            regress_abs, sweep_rounds,
+                                            common);
+    bloc::bench::FinishObservability(common);
+    return failures == 0 ? 0 : 1;
+  }
+  // The admin endpoint comes up before the (slow) dataset generation so an
+  // external scraper attached at launch gets answers immediately; per
+  // sweep point the live service is attached behind /healthz.
+  std::unique_ptr<serve::AdminServer> admin;
+  std::vector<std::string> scrape_failures;
+  if (run_soak && (admin_port >= 0 || admin_scrape)) {
+    serve::AdminOptions admin_options;
+    admin_options.port =
+        admin_port >= 0 ? static_cast<std::uint16_t>(admin_port) : 0;
+    admin = std::make_unique<serve::AdminServer>(nullptr, admin_options);
+    std::cout << "admin endpoint on 127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /report)\n";
+  }
   if (run_fullphy) {
     fullphy = RunFullPhyComparison();
     fullphy_sweep = RunFullPhyThreadSweep();
@@ -1652,7 +1945,10 @@ int main(int argc, char** argv) {
                                             common.coarse_stride);
   if (run_dataset) dataset = RunDatasetSweep(dataset_locations);
   if (run_obs) obs_overhead = RunObsOverheadCheck(sweep_rounds);
-  if (run_soak) soak = RunSoakSweep(soak_config);
+  if (run_soak) {
+    soak = RunSoakSweep(soak_config, admin.get(),
+                        admin_scrape ? &scrape_failures : nullptr);
+  }
   if (run_wire) wire = RunWireSmoke(soak_config);
   if (!json_path.empty()) {
     WriteSweepJson(json_path, run_localize ? &sweep : nullptr,
@@ -1667,6 +1963,13 @@ int main(int argc, char** argv) {
                    run_wire ? &wire : nullptr, sweep_rounds);
   }
   bloc::bench::FinishObservability(common);
+  if (!scrape_failures.empty()) {
+    for (const std::string& failure : scrape_failures) {
+      std::cerr << "bench_perf: admin scrape validation failed: " << failure
+                << "\n";
+    }
+    return 1;
+  }
   if (run_obs && obs_guard_pct >= 0.0 &&
       obs_overhead.overhead_pct > obs_guard_pct) {
     std::cerr << "bench_perf: observability overhead "

@@ -1,8 +1,11 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
@@ -10,6 +13,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "stats.h"
 
 #include "bloc/localizer.h"
 #include "eval/metrics.h"
@@ -118,6 +123,13 @@ struct BenchSetup {
   std::string dataset_cache;  // --dataset-cache=DIR
   std::string save_dataset;   // --save-dataset=PATH (primary dataset)
   std::string load_dataset;   // --load-dataset=PATH (primary dataset)
+  std::uint64_t seed = 1;     // --seed=S (recorded in the figure JSON)
+  /// Figure-bench stats block (bench::Stats over repeated evaluations):
+  ///   --bench-json=PATH  write the machine-readable figure baseline
+  ///   --reps=K --warmup=W  measured / discarded evaluation passes
+  std::string bench_json;
+  std::size_t bench_reps = 3;
+  std::size_t bench_warmup = 1;
 };
 
 /// Parses `--motion=static|waypoint|walk` (throws on anything else).
@@ -138,7 +150,8 @@ inline BenchSetup ParseSetup(int argc, char** argv,
                              const std::string& default_motion = "static") {
   sim::CliArgs args(argc, argv);
   BenchSetup setup;
-  setup.scenario = sim::PaperTestbed(args.U64("seed", 1));
+  setup.seed = args.U64("seed", 1);
+  setup.scenario = sim::PaperTestbed(setup.seed);
   setup.options.locations = args.SizeT("locations", default_locations);
   setup.options.grid_resolution = args.Double("resolution", 0.075);
   setup.scenario.motion.model =
@@ -157,8 +170,54 @@ inline BenchSetup ParseSetup(int argc, char** argv,
   setup.dataset_cache = args.Str("dataset-cache", "");
   setup.save_dataset = args.Str("save-dataset", "");
   setup.load_dataset = args.Str("load-dataset", "");
+  setup.bench_json = args.Str("bench-json", "");
+  setup.bench_reps = args.SizeT("reps", setup.bench_reps);
+  setup.bench_warmup = args.SizeT("warmup", setup.bench_warmup);
   setup.common.ApplyStartup();
   return setup;
+}
+
+/// Times repeated whole-dataset evaluations (--warmup discarded, --reps
+/// measured) and summarizes milliseconds per round; `fn` returns the
+/// per-location error vector and the last run's errors land in `errors`
+/// (every run is bit-identical, so which run's errors survive is moot).
+template <typename Fn>
+Stats MeasureEvaluation(const BenchSetup& setup, std::size_t rounds,
+                        std::vector<double>& errors, Fn&& fn) {
+  return MeasureRepeated(setup.bench_warmup, setup.bench_reps, [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    errors = fn();
+    const std::chrono::duration<double, std::milli> ms =
+        std::chrono::steady_clock::now() - t0;
+    return ms.count() / static_cast<double>(std::max<std::size_t>(rounds, 1));
+  });
+}
+
+/// Machine-readable baseline for one figure bench: the deterministic
+/// accuracy numbers (seed-reproducible, so --mode=regress can check them
+/// exactly) plus a bench::Stats block over the repeated evaluation timing
+/// (machine-dependent; regress compares it only under --regress-abs).
+inline bool WriteFigureJson(const std::string& path, const std::string& figure,
+                            const BenchSetup& setup,
+                            const eval::ErrorStats& errors,
+                            const Stats& eval_ms_per_round) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\n  \"figure\": {\n";
+  out << "    \"name\": \"" << figure << "\",\n";
+  out << "    \"locations\": " << setup.options.locations << ",\n";
+  out << "    \"seed\": " << setup.seed << ",\n";
+  out << "    \"threads\": " << setup.common.threads << ",\n";
+  out << "    \"median_error_m\": " << errors.median << ",\n";
+  out << "    \"p90_error_m\": " << errors.p90 << ",\n";
+  out << "    \"eval_ms_per_round\": ";
+  eval_ms_per_round.WriteJson(out);
+  out << "\n  }\n}\n";
+  std::cerr << "[bench] wrote " << path << "\n";
+  return true;
 }
 
 /// Exports the observability artifacts the flags asked for. Call once at the

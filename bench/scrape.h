@@ -1,0 +1,195 @@
+// Loopback HTTP scrape client + Prometheus text-exposition parser.
+//
+// Used by bench_perf --admin-scrape (an in-run client validating what an
+// external Prometheus would see against serve::AdminServer) and by the
+// admin-endpoint tests. Deliberately tiny: blocking sockets, one request
+// per connection (the server answers Connection: close), and a line
+// parser that understands exactly the dialect obs/prometheus.cc emits —
+// `name{label="value",...} number` plus `#`-comments.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bloc::bench {
+
+/// Blocking GET http://127.0.0.1:port<target>. Returns the full response
+/// (status line + headers + body), or "" on connect/send/recv failure.
+inline std::string HttpGet(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {  // server closes after one response
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// HTTP status code of a response from HttpGet ("HTTP/1.1 200 OK" -> 200);
+/// 0 when the response is empty or malformed.
+inline int HttpStatus(const std::string& response) {
+  const std::size_t space = response.find(' ');
+  if (space == std::string::npos || space + 4 > response.size()) return 0;
+  int status = 0;
+  for (std::size_t i = space + 1; i < space + 4; ++i) {
+    const char c = response[i];
+    if (c < '0' || c > '9') return 0;
+    status = status * 10 + (c - '0');
+  }
+  return status;
+}
+
+/// Body of a response from HttpGet (everything after the blank line).
+inline std::string HttpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() :
+                                      response.substr(split + 4);
+}
+
+/// One sample line of the exposition: name, labels, value.
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parse a Prometheus text body into samples. Lines that do not match the
+/// expected shape are collected into `malformed` (if given) so tests can
+/// assert the exposition is clean rather than silently skipping garbage.
+inline std::vector<PromSample> ParsePrometheus(
+    const std::string& body, std::vector<std::string>* malformed = nullptr) {
+  std::vector<PromSample> samples;
+  const auto reject = [&](const std::string& line) {
+    if (malformed != nullptr) malformed->push_back(line);
+  };
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    PromSample sample;
+    std::size_t i = 0;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0) {
+      reject(line);
+      continue;
+    }
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {  // label block
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          break;
+        }
+        const std::string key = line.substr(i, eq - i);
+        std::string value;
+        std::size_t j = eq + 2;
+        bool closed = false;
+        while (j < line.size()) {
+          if (line[j] == '\\' && j + 1 < line.size()) {
+            const char esc = line[j + 1];
+            value += esc == 'n' ? '\n' : esc;
+            j += 2;
+          } else if (line[j] == '"') {
+            closed = true;
+            ++j;
+            break;
+          } else {
+            value += line[j++];
+          }
+        }
+        if (!closed) break;
+        sample.labels[key] = value;
+        i = j;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        reject(line);
+        continue;
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      reject(line);
+      continue;
+    }
+    try {
+      sample.value = std::stod(line.substr(i + 1));
+    } catch (...) {
+      const std::string tail = line.substr(i + 1);
+      if (tail == "+Inf") {
+        sample.value = 1e308;
+      } else {
+        reject(line);
+        continue;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+/// First sample matching `name` whose labels include every pair in `labels`
+/// (extra labels on the sample are fine); nullptr when absent.
+inline const PromSample* FindSample(
+    const std::vector<PromSample>& samples, const std::string& name,
+    const std::map<std::string, std::string>& labels = {}) {
+  for (const PromSample& s : samples) {
+    if (s.name != name) continue;
+    bool match = true;
+    for (const auto& [k, v] : labels) {
+      const auto it = s.labels.find(k);
+      if (it == s.labels.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace bloc::bench

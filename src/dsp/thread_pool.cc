@@ -9,7 +9,7 @@ namespace bloc::dsp {
 ThreadPool::ThreadPool(std::size_t num_threads)
     : submitted_metric_(obs::GetCounter("dsp.thread_pool.submitted")),
       completed_metric_(obs::GetCounter("dsp.thread_pool.completed")),
-      queue_depth_metric_(obs::GetGauge("dsp.thread_pool.queue_depth")),
+      queue_depth_metric_(obs::GetUpDownGauge("dsp.thread_pool.queue_depth")),
       task_latency_metric_(
           obs::GetHistogram("dsp.thread_pool.task_latency_us")) {
   if (num_threads == 0) {

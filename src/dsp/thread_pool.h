@@ -5,7 +5,7 @@
 //
 // Observability (DESIGN.md §5d): every pool shares the registry metrics
 //   dsp.thread_pool.submitted / completed  (counters)
-//   dsp.thread_pool.queue_depth            (gauge, with high-watermark)
+//   dsp.thread_pool.queue_depth            (up/down gauge + high-watermark)
 //   dsp.thread_pool.task_latency_us        (histogram, enqueue->completion)
 // and each instance tracks its own submitted/completed pair so the
 // destructor can assert that shutdown dropped no work.
@@ -90,7 +90,7 @@ class ThreadPool {
   // Registry handles, resolved once per pool.
   obs::Counter& submitted_metric_;
   obs::Counter& completed_metric_;
-  obs::Gauge& queue_depth_metric_;
+  obs::UpDownGauge& queue_depth_metric_;
   obs::Histogram& task_latency_metric_;
 };
 

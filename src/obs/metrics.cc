@@ -102,6 +102,16 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   return *gauges_.back();
 }
 
+UpDownGauge& MetricsRegistry::GetUpDownGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : updown_gauges_) {
+    if (g->name() == name) return *g;
+  }
+  updown_gauges_.push_back(
+      std::unique_ptr<UpDownGauge>(new UpDownGauge(std::string(name))));
+  return *updown_gauges_.back();
+}
+
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& h : histograms_) {
@@ -120,8 +130,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     for (const auto& c : counters_) {
       snap.counters.push_back({c->name(), c->Value()});
     }
-    snap.gauges.reserve(gauges_.size());
+    snap.gauges.reserve(gauges_.size() + updown_gauges_.size());
     for (const auto& g : gauges_) {
+      snap.gauges.push_back({g->name(), g->Value(), g->Max()});
+    }
+    // Up/down gauges fold into the same snapshot rows: a level + watermark
+    // reads the same either way, so RunReport and /report cover both kinds.
+    for (const auto& g : updown_gauges_) {
       snap.gauges.push_back({g->name(), g->Value(), g->Max()});
     }
     snap.histograms.reserve(histograms_.size());
@@ -138,6 +153,30 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) fn(*c);
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : gauges_) fn(*g);
+}
+
+void MetricsRegistry::VisitUpDownGauges(
+    const std::function<void(const UpDownGauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : updown_gauges_) fn(*g);
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) fn(*h);
 }
 
 #else  // BLOC_OBS_OFF

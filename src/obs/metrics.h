@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -98,6 +99,42 @@ class Gauge {
  private:
   friend class MetricsRegistry;
   explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void UpdateMax(std::int64_t v) noexcept {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::string name_;
+};
+
+/// A true up/down level (queue depth, in-flight count) with a
+/// high-watermark. Unlike Gauge, Add/Sub are NOT gated by MetricsEnabled():
+/// levels are maintained by paired increments and decrements, and gating
+/// only one side of a pair (recording toggled mid-run, as --mode=obs does)
+/// would drift the level permanently. The cost is one relaxed fetch_add
+/// either way, so the level is always exact.
+class UpDownGauge {
+ public:
+  void Add(std::int64_t d) noexcept {
+    UpdateMax(value_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  void Sub(std::int64_t d) noexcept {
+    value_.fetch_sub(d, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t Max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit UpDownGauge(std::string name) : name_(std::move(name)) {}
   void UpdateMax(std::int64_t v) noexcept {
     std::int64_t cur = max_.load(std::memory_order_relaxed);
     while (v > cur &&
@@ -227,9 +264,19 @@ class MetricsRegistry {
 
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
+  UpDownGauge& GetUpDownGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Visits every registered metric of one kind under the registry mutex —
+  /// the full-fidelity capture path (obs/snapshot.h reads raw histogram
+  /// buckets through these). The visitor must not call GetX (deadlock).
+  void VisitCounters(const std::function<void(const Counter&)>& fn) const;
+  void VisitGauges(const std::function<void(const Gauge&)>& fn) const;
+  void VisitUpDownGauges(
+      const std::function<void(const UpDownGauge&)>& fn) const;
+  void VisitHistograms(const std::function<void(const Histogram&)>& fn) const;
 
  private:
   MetricsRegistry() = default;
@@ -237,6 +284,7 @@ class MetricsRegistry {
   // unique_ptr keeps addresses stable as the vectors grow.
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<UpDownGauge>> updown_gauges_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
 };
 
@@ -246,6 +294,9 @@ inline Counter& GetCounter(std::string_view name) {
 }
 inline Gauge& GetGauge(std::string_view name) {
   return MetricsRegistry::Global().GetGauge(name);
+}
+inline UpDownGauge& GetUpDownGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetUpDownGauge(name);
 }
 inline Histogram& GetHistogram(std::string_view name) {
   return MetricsRegistry::Global().GetHistogram(name);
@@ -265,6 +316,14 @@ class Counter {
 class Gauge {
  public:
   void Set(std::int64_t) noexcept {}
+  void Add(std::int64_t) noexcept {}
+  void Sub(std::int64_t) noexcept {}
+  std::int64_t Value() const noexcept { return 0; }
+  std::int64_t Max() const noexcept { return 0; }
+};
+
+class UpDownGauge {
+ public:
   void Add(std::int64_t) noexcept {}
   void Sub(std::int64_t) noexcept {}
   std::int64_t Value() const noexcept { return 0; }
@@ -332,12 +391,14 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
   Counter& GetCounter(std::string_view) { return counter_; }
   Gauge& GetGauge(std::string_view) { return gauge_; }
+  UpDownGauge& GetUpDownGauge(std::string_view) { return updown_gauge_; }
   Histogram& GetHistogram(std::string_view) { return histogram_; }
   MetricsSnapshot Snapshot() const { return {}; }
 
  private:
   Counter counter_;
   Gauge gauge_;
+  UpDownGauge updown_gauge_;
   Histogram histogram_;
 };
 
@@ -346,6 +407,9 @@ inline Counter& GetCounter(std::string_view name) {
 }
 inline Gauge& GetGauge(std::string_view name) {
   return MetricsRegistry::Global().GetGauge(name);
+}
+inline UpDownGauge& GetUpDownGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetUpDownGauge(name);
 }
 inline Histogram& GetHistogram(std::string_view name) {
   return MetricsRegistry::Global().GetHistogram(name);

@@ -1,0 +1,76 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+
+namespace bloc::obs {
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 5);
+  const bool prefixed =
+      name.rfind("bloc.", 0) == 0 || name.rfind("bloc_", 0) == 0;
+  if (!prefixed) out += "bloc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void WritePrometheus(std::ostream& os, const Snapshot& snap) {
+  for (const CounterSnapshot& c : snap.counters) {
+    const std::string n = PrometheusName(c.name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    const std::string n = PrometheusName(g.name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << g.value << "\n";
+    os << "# TYPE " << n << "_max gauge\n";
+    os << n << "_max " << g.max << "\n";
+  }
+  for (const HistogramState& h : snap.histograms) {
+    const std::string n = PrometheusName(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative buckets up to the last non-empty one; everything above
+    // collapses into +Inf. le is the log2 bucket's inclusive upper bound.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < HistogramState::kBuckets; ++i) {
+      if (h.buckets[i] != 0) last = i;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last; ++i) {
+      cum += h.buckets[i];
+      os << n << "_bucket{le=\"" << Histogram::BucketUpperBound(i) << "\"} "
+         << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace bloc::obs

@@ -1,0 +1,29 @@
+// Prometheus text exposition (version 0.0.4) for obs snapshots.
+//
+// Metric names map `subsystem.object.event` -> `bloc_subsystem_object_event`
+// (every non-alphanumeric byte becomes '_', `bloc_` prefixed). Histograms
+// emit the standard cumulative `_bucket{le="..."}` series from the log2
+// buckets plus `_sum`/`_count`; gauges emit the level and a `_max`
+// watermark series alongside.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/snapshot.h"
+
+namespace bloc::obs {
+
+/// `serve.e2e_latency_us` -> `bloc_serve_e2e_latency_us`. Already-prefixed
+/// names (starting with `bloc.` or `bloc_`) are not double-prefixed.
+std::string PrometheusName(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Writes the whole snapshot as exposition text.
+void WritePrometheus(std::ostream& os, const Snapshot& snap);
+
+}  // namespace bloc::obs

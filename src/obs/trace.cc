@@ -57,6 +57,11 @@ struct ThreadTraceBuffer {
       events_[head_] = ev;  // wrap: keep the most recent events
       head_ = (head_ + 1) % kCapacity;
       ++dropped_;
+      // Mirror drops into the registry so silent trace truncation shows up
+      // on /metrics. The registry mutex is only taken on the first resolve;
+      // Inc itself is lock-free, so no cycle with mu_ held here.
+      static Counter& dropped_events = GetCounter("obs.trace.dropped_events");
+      dropped_events.Inc();
     }
   }
 

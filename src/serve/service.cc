@@ -23,8 +23,11 @@ struct LocalizationService::Metrics {
   obs::Counter& duplicates = obs::GetCounter("serve.duplicates");
   obs::Counter& completed = obs::GetCounter("serve.completed_rounds");
   obs::Counter& localized = obs::GetCounter("serve.localized_rounds");
-  obs::Gauge& ring_depth = obs::GetGauge("serve.ring_depth");
-  obs::Gauge& inflight = obs::GetGauge("serve.inflight_locates");
+  // Up/down gauges: paired Add/Sub stay exact even when metric recording is
+  // toggled mid-run, and the built-in watermark keeps the old high-water
+  // reading alongside (the _max series on /metrics).
+  obs::UpDownGauge& ring_depth = obs::GetUpDownGauge("serve.ring_depth");
+  obs::UpDownGauge& inflight = obs::GetUpDownGauge("serve.inflight_locates");
   obs::Histogram& e2e_latency_us =
       obs::GetHistogram("serve.e2e_latency_us");
 
@@ -117,6 +120,7 @@ bool LocalizationService::Ingest(std::uint64_t tag_id,
     return false;
   }
   frames_in_rings_.fetch_add(1, std::memory_order_release);
+  shard.depth.fetch_add(1, std::memory_order_relaxed);
   admitted_frames_.fetch_add(1, std::memory_order_relaxed);
   metrics.admitted.Inc();
   metrics.ring_depth.Add(1);
@@ -178,6 +182,50 @@ std::size_t LocalizationService::RingDepth() const {
   return frames_in_rings_.load(std::memory_order_relaxed);
 }
 
+ServiceHealthStats LocalizationService::HealthStats() const {
+  ServiceHealthStats stats;
+  stats.counters = Counters();
+  stats.inflight_locates = InflightLocates();
+  stats.shards.reserve(shards_.size());
+  std::vector<std::uint32_t> window;
+  window.reserve(TagSessionShard::kLatencyWindow);
+  for (const auto& shard_ptr : shards_) {
+    TagSessionShard& shard = *shard_ptr;
+    ShardHealth sh;
+    sh.ring_depth = shard.depth.load(std::memory_order_relaxed);
+    window.clear();
+    {
+      std::lock_guard lock(shard.mutex);
+      sh.localized_rounds = shard.localized_rounds;
+      const std::size_t valid =
+          std::min<std::uint64_t>(shard.latency_recorded,
+                                  TagSessionShard::kLatencyWindow);
+      window.assign(shard.latency_window.begin(),
+                    shard.latency_window.begin() + valid);
+    }
+    sh.window_samples = window.size();
+    if (!window.empty()) {
+      std::sort(window.begin(), window.end());
+      const auto at = [&window](double q) {
+        const std::size_t idx = static_cast<std::size_t>(
+            q * static_cast<double>(window.size() - 1) + 0.5);
+        return static_cast<double>(window[std::min(idx, window.size() - 1)]);
+      };
+      sh.window_p50_us = at(0.50);
+      sh.window_p99_us = at(0.99);
+    }
+    stats.shards.push_back(sh);
+  }
+  // Cold path: resolving by name per scrape is fine, and returns zeros when
+  // the search counters have never been touched (or obs is compiled out).
+  stats.search_gated_rounds =
+      obs::GetCounter("bloc.search.gated_rounds").Value();
+  stats.search_gate_misses =
+      obs::GetCounter("bloc.search.gate_misses").Value();
+  stats.search_fallbacks = obs::GetCounter("bloc.search.fallbacks").Value();
+  return stats;
+}
+
 void LocalizationService::AssemblerLoop(std::size_t worker) {
   std::uint64_t last_gc_ns = obs::NowNs();
   // GC cadence: a quarter of the round timeout, clamped to [5ms, 1s].
@@ -227,6 +275,7 @@ std::size_t LocalizationService::DrainShardRing(std::size_t worker,
     // all-zero instant while a frame is between the ring and the engine
     // (AdmitRound raises inflight_locates_ before this drops to zero).
     frames_in_rings_.fetch_sub(1, std::memory_order_release);
+    shard.depth.fetch_sub(1, std::memory_order_relaxed);
     metrics.ring_depth.Sub(1);
     ++popped;
   }
@@ -351,6 +400,15 @@ std::size_t LocalizationService::SweepCompletions(TagSessionShard& shard) {
       const std::uint64_t latency_us =
           (now - node->first_ingest_ns) / 1000;
       metrics.e2e_latency_us.Record(latency_us);
+      // Per-shard rolling window for /healthz: recent latency, not
+      // since-start. Under the shard mutex like every session mutation.
+      shard.latency_window[shard.latency_recorded %
+                           TagSessionShard::kLatencyWindow] =
+          latency_us > 0xffffffffull
+              ? 0xffffffffu
+              : static_cast<std::uint32_t>(latency_us);
+      ++shard.latency_recorded;
+      ++shard.localized_rounds;
       localized_rounds_.fetch_add(1, std::memory_order_relaxed);
       metrics.localized.Inc();
 

@@ -23,8 +23,10 @@
 //
 // Registry metrics (obs/metrics.h): serve.{admitted,refused,shed,expired,
 // duplicate,completed,localized} counters, serve.ring_depth and
-// serve.inflight_locates gauges, and the serve.e2e_latency_us histogram
-// that the soak bench's p50/p99/p999 SLO gates read.
+// serve.inflight_locates up/down gauges (exact levels + high watermarks),
+// and the serve.e2e_latency_us histogram that the soak bench's p50/p99/p999
+// SLO gates read. HealthStats() adds per-shard rolling-latency windows and
+// depth imbalance for the /healthz verdict (serve/health.h, serve/admin.h).
 #pragma once
 
 #include <atomic>
@@ -92,6 +94,31 @@ struct ServiceCounters {
   std::uint64_t sessions_expired = 0;  // idle sessions erased
 };
 
+/// One shard's contribution to the health verdict: current ring depth, the
+/// quantiles of its rolling e2e-latency window, and delivered-round volume.
+struct ShardHealth {
+  std::size_t ring_depth = 0;
+  std::uint64_t localized_rounds = 0;
+  std::size_t window_samples = 0;  // valid entries in the rolling window
+  double window_p50_us = 0.0;
+  double window_p99_us = 0.0;
+};
+
+/// Everything serve/health.h needs to render an SLO verdict, captured from
+/// a live service in one call (per-shard windows copied under each shard
+/// mutex — a cold path, fine at scrape rates).
+struct ServiceHealthStats {
+  ServiceCounters counters;
+  std::vector<ShardHealth> shards;
+  std::size_t inflight_locates = 0;
+  // Process-wide search-quality counters (bloc.search.*): gate misses force
+  // ungated re-searches, fallbacks abandon coarse-to-fine entirely. Zero
+  // when the build disables observability.
+  std::uint64_t search_gated_rounds = 0;
+  std::uint64_t search_gate_misses = 0;
+  std::uint64_t search_fallbacks = 0;
+};
+
 class LocalizationService : public net::MessageSink {
  public:
   LocalizationService(core::Deployment deployment, core::LocalizerConfig config,
@@ -135,6 +162,11 @@ class LocalizationService : public net::MessageSink {
 
   /// Consistent-enough snapshot of the per-instance counters.
   ServiceCounters Counters() const;
+
+  /// Counters plus per-shard depth and rolling-latency quantiles — the
+  /// input to serve/health.h's EvaluateHealth and the per-shard series on
+  /// the admin /metrics endpoint. Takes each shard mutex briefly.
+  ServiceHealthStats HealthStats() const;
 
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t ShardOf(std::uint64_t tag_id) const {

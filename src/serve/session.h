@@ -6,6 +6,8 @@
 // shard's assembler and by Poll(), never by another shard's traffic.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -121,6 +123,20 @@ struct TagSessionShard {
   /// Admission-order FIFO of rounds in the engine; completions are
   /// delivered front-first, so per-tag updates arrive in round order.
   std::deque<std::unique_ptr<InflightLocate>> inflight;
+
+  /// Frames resident in this shard's ring (Ingest raises it lock-free, the
+  /// assembler lowers it after assembly) — the shard-imbalance signal for
+  /// serve/health.h.
+  std::atomic<std::size_t> depth{0};
+
+  /// Rolling window of the most recent end-to-end latencies (us), written
+  /// by SweepCompletions under `mutex` and copied out under the same mutex
+  /// by LocalizationService::HealthStats. A fixed tail, not a histogram:
+  /// /healthz judges *recent* latency, not since-start aggregates.
+  static constexpr std::size_t kLatencyWindow = 256;
+  std::array<std::uint32_t, kLatencyWindow> latency_window{};
+  std::uint64_t latency_recorded = 0;  // total ever; window keeps the tail
+  std::uint64_t localized_rounds = 0;  // delivered from this shard
 };
 
 /// splitmix64 finalizer — the shard hash. Adjacent tag ids land on
